@@ -1,0 +1,131 @@
+// Reproduces Figure 3, the paper's motivation analysis for plain
+// outer-product spGEMM on a simulated Titan Xp:
+//   (a) per-SM execution-time variance of the expansion phase (descending,
+//       normalized to the busiest SM) on 5 regular + 5 skewed datasets;
+//   (b) thread-block distribution by number of effective threads;
+//   (c) expansion vs merge share of total kernel time.
+//
+// Flags: --scale (default 0.25), --device, --seed, --csv.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "metrics/report.h"
+#include "spgemm/algorithm.h"
+#include "spgemm/workload_model.h"
+
+namespace spnet {
+namespace {
+
+const char* kDatasets[] = {"harbor",   "protein",     "QCD",
+                           "filter3D", "ship",        "youtube",
+                           "loc-gowalla", "as-caida", "sx-mathoverflow",
+                           "slashDot"};
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::BenchOptions::FromArgs(argc, argv);
+  const gpusim::DeviceSpec device = options.Device();
+  const auto outer = spgemm::MakeOuterProduct();
+
+  // (a) SM execution-time variance of the expansion phase.
+  std::printf("== Figure 3(a): expansion-phase SM load (descending, "
+              "normalized to max; %d SMs) ==\n",
+              device.num_sms);
+  metrics::Table sm_table({"dataset", "SM util (LBI)", "top", "p25", "p50",
+                           "p75", "min"});
+  // (b) thread-block distribution by effective threads.
+  metrics::Table tb_table({"dataset", "1-2", "3-4", "5-8", "9-16", "17-32",
+                           "33-128", ">128"});
+  // (c) expansion vs merge split.
+  metrics::Table phase_table(
+      {"dataset", "expansion %", "merge %", "exp ms", "merge ms"});
+
+  for (const char* name : kDatasets) {
+    const sparse::CsrMatrix a = bench::LoadDataset(name, options);
+    auto m = spgemm::Measure(*outer, a, a, device);
+    SPNET_CHECK(m.ok()) << m.status().ToString();
+
+    std::vector<double> busy = m->expansion.sm_busy_cycles;
+    std::sort(busy.begin(), busy.end(), std::greater<double>());
+    const double top = busy.empty() ? 0.0 : busy.front();
+    auto pct = [&](double p) {
+      if (busy.empty() || top <= 0.0) return 0.0;
+      const size_t i = static_cast<size_t>(p * (busy.size() - 1));
+      return busy[i] / top;
+    };
+    sm_table.AddRow({name, metrics::FormatDouble(m->expansion.Lbi()),
+                     "1.00", metrics::FormatDouble(pct(0.25)),
+                     metrics::FormatDouble(pct(0.50)),
+                     metrics::FormatDouble(pct(0.75)),
+                     metrics::FormatDouble(pct(1.0))});
+
+    // Effective-thread histogram over the outer-product pair blocks.
+    const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+    int64_t bins[7] = {0, 0, 0, 0, 0, 0, 0};
+    int64_t total = 0;
+    for (size_t i = 0; i < w.pair_work.size(); ++i) {
+      if (w.pair_work[i] == 0) continue;
+      const int64_t eff = w.b_row_nnz[i];
+      ++total;
+      if (eff <= 2) {
+        ++bins[0];
+      } else if (eff <= 4) {
+        ++bins[1];
+      } else if (eff <= 8) {
+        ++bins[2];
+      } else if (eff <= 16) {
+        ++bins[3];
+      } else if (eff <= 32) {
+        ++bins[4];
+      } else if (eff <= 128) {
+        ++bins[5];
+      } else {
+        ++bins[6];
+      }
+    }
+    std::vector<std::string> row = {name};
+    for (int64_t b : bins) {
+      row.push_back(metrics::FormatDouble(
+          total > 0 ? 100.0 * static_cast<double>(b) /
+                          static_cast<double>(total)
+                    : 0.0,
+          1));
+    }
+    tb_table.AddRow(std::move(row));
+
+    const double exp_s = m->expansion.seconds;
+    const double merge_s = m->merge.seconds;
+    const double sum = exp_s + merge_s;
+    phase_table.AddRow(
+        {name,
+         metrics::FormatDouble(sum > 0 ? 100.0 * exp_s / sum : 0.0, 1),
+         metrics::FormatDouble(sum > 0 ? 100.0 * merge_s / sum : 0.0, 1),
+         metrics::FormatDouble(exp_s * 1e3, 3),
+         metrics::FormatDouble(merge_s * 1e3, 3)});
+  }
+
+  std::fputs(options.csv ? sm_table.ToCsv().c_str()
+                         : sm_table.ToString().c_str(),
+             stdout);
+  std::printf("\n== Figure 3(b): %% of thread blocks by effective threads ==\n");
+  std::fputs(options.csv ? tb_table.ToCsv().c_str()
+                         : tb_table.ToString().c_str(),
+             stdout);
+  std::printf("\n== Figure 3(c): expansion vs merge time ==\n");
+  std::fputs(options.csv ? phase_table.ToCsv().c_str()
+                         : phase_table.ToString().c_str(),
+             stdout);
+  std::printf(
+      "\nPaper reference: regular sets balance SMs; skewed sets drop below "
+      "20%% SM utilization; most blocks have <32 effective threads; merge "
+      "dominates on skewed data.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace spnet
+
+int main(int argc, char** argv) { return spnet::Run(argc, argv); }

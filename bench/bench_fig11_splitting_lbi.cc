@@ -1,0 +1,78 @@
+// Reproduces Figure 11: load balancing index (LBI, paper Eq. 3) and the
+// relative execution time of the dominator expansion kernel as the
+// B-Splitting factor sweeps 1..64, over the 10 Stanford datasets.
+//
+// Flags: --scale (default 0.25), --device, --seed, --csv.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/block_reorganizer.h"
+#include "gpusim/simulator.h"
+#include "metrics/report.h"
+
+namespace spnet {
+namespace {
+
+constexpr int kFactors[] = {1, 2, 4, 8, 16, 32, 64};
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::BenchOptions::FromArgs(argc, argv);
+  const gpusim::DeviceSpec device = options.Device();
+  gpusim::Simulator sim(device);
+
+  std::vector<std::string> header = {"dataset", "metric"};
+  for (int f : kFactors) header.push_back(std::to_string(f));
+  metrics::Table table(header);
+
+  for (const std::string& name : datasets::StanfordDatasetNames()) {
+    const sparse::CsrMatrix a = bench::LoadDataset(name, options);
+
+    std::vector<std::string> lbi_row = {name, "LBI"};
+    std::vector<std::string> speed_row = {name, "speedup"};
+    double base_cycles = 0.0;
+    for (int factor : kFactors) {
+      core::ReorganizerConfig config;
+      config.enable_gathering = false;
+      config.enable_limiting = false;
+      config.splitting_factor_override = factor;
+      core::BlockReorganizerSpGemm alg(config);
+      auto plan = alg.Plan(a, a, device);
+      SPNET_CHECK(plan.ok()) << plan.status().ToString();
+
+      // Figure 11 measures the dominator kernel only: "the execution time
+      // of dominator blocks is only measured to show the effect of
+      // block-splitting".
+      gpusim::KernelStats dom;
+      for (const auto& k : plan->kernels) {
+        if (k.label != "expansion-dominators") continue;
+        auto s = sim.RunKernel(k);
+        SPNET_CHECK(s.ok());
+        dom = *s;
+      }
+      if (factor == 1) base_cycles = dom.cycles;
+      lbi_row.push_back(metrics::FormatDouble(dom.Lbi()));
+      speed_row.push_back(metrics::FormatDouble(
+          dom.cycles > 0 ? base_cycles / dom.cycles : 0.0, 1));
+    }
+    table.AddRow(std::move(lbi_row));
+    table.AddRow(std::move(speed_row));
+  }
+
+  std::printf("== Figure 11: dominator-kernel LBI and speedup vs splitting "
+              "factor (%s, %d SMs, scale %.2f) ==\n",
+              device.name.c_str(), device.num_sms, options.scale);
+  std::fputs(options.csv ? table.ToCsv().c_str() : table.ToString().c_str(),
+             stdout);
+  std::printf("\nPaper reference: LBI rises from ~0.17 toward ~0.96 as the "
+              "factor approaches the SM count; dominator speedup averages "
+              "8.68x; gains past the SM count come from L2 reuse.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace spnet
+
+int main(int argc, char** argv) { return spnet::Run(argc, argv); }

@@ -1,0 +1,83 @@
+// Reproduces Figure 13: the sync-stall percentage of the expansion phase
+// before and after B-Gathering, across the 28 real-world datasets. Idle
+// lanes in lock-step warps (non-effective threads waiting at the block
+// barrier) are the stalls B-Gathering eliminates.
+//
+// Flags: --scale (default 0.25), --device, --seed, --csv.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/block_reorganizer.h"
+#include "gpusim/simulator.h"
+#include "metrics/report.h"
+
+namespace spnet {
+namespace {
+
+gpusim::KernelStats ExpansionStats(const sparse::CsrMatrix& a,
+                                   const gpusim::DeviceSpec& device,
+                                   bool gathering) {
+  core::ReorganizerConfig config;
+  config.enable_splitting = false;
+  config.enable_limiting = false;
+  config.enable_gathering = gathering;
+  core::BlockReorganizerSpGemm alg(config);
+  auto plan = alg.Plan(a, a, device);
+  SPNET_CHECK(plan.ok());
+  gpusim::Simulator sim(device);
+  gpusim::KernelStats total;
+  total.sm_busy_cycles.assign(static_cast<size_t>(device.num_sms), 0.0);
+  for (const auto& k : plan->kernels) {
+    if (k.phase != gpusim::Phase::kExpansion) continue;
+    auto s = sim.RunKernel(k);
+    SPNET_CHECK(s.ok());
+    total.Accumulate(*s);
+  }
+  return total;
+}
+
+int Run(int argc, char** argv) {
+  const bench::BenchOptions options =
+      bench::BenchOptions::FromArgs(argc, argv);
+  const gpusim::DeviceSpec device = options.Device();
+
+  metrics::Table table(
+      {"dataset", "stall % before", "stall % after", "reduction"});
+  std::vector<double> before_all;
+  std::vector<double> after_all;
+  for (const std::string& name : bench::AllDatasetNames()) {
+    const sparse::CsrMatrix a = bench::LoadDataset(name, options);
+    const auto before = ExpansionStats(a, device, false);
+    const auto after = ExpansionStats(a, device, true);
+    const double b = 100.0 * before.SyncStallFraction();
+    const double f = 100.0 * after.SyncStallFraction();
+    before_all.push_back(b);
+    after_all.push_back(f);
+    table.AddRow({name, metrics::FormatDouble(b, 1),
+                  metrics::FormatDouble(f, 1),
+                  metrics::FormatDouble(b - f, 1)});
+  }
+  table.AddRow({"MEAN", metrics::FormatDouble(
+                            metrics::ArithmeticMean(before_all), 1),
+                metrics::FormatDouble(metrics::ArithmeticMean(after_all), 1),
+                metrics::FormatDouble(metrics::ArithmeticMean(before_all) -
+                                          metrics::ArithmeticMean(after_all),
+                                      1)});
+
+  std::printf("== Figure 13: expansion sync stalls before/after B-Gathering "
+              "(%s, scale %.2f) ==\n",
+              device.name.c_str(), options.scale);
+  std::fputs(options.csv ? table.ToCsv().c_str() : table.ToString().c_str(),
+             stdout);
+  std::printf("\nPaper reference: the sync-stall percentage drops sharply "
+              "once underloaded blocks are gathered, leaving mostly memory "
+              "stalls.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace spnet
+
+int main(int argc, char** argv) { return spnet::Run(argc, argv); }

@@ -1,0 +1,76 @@
+// Reproduces Figure 16(a) (and prints the C = A^2 half of Table III):
+// speedups of all methods, normalized to the row-product baseline, on the
+// synthetic R-MAT suites — S (scalability), P (skewness), SP (sparsity).
+//
+// Flags: --scale (default 0.25), --device, --seed, --csv.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/suite.h"
+#include "metrics/report.h"
+#include "spgemm/algorithm.h"
+
+namespace spnet {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::BenchOptions options = bench::BenchOptions::FromArgs(argc, argv);
+  {
+    // These sweeps never materialize C functionally, so the paper-scale
+    // datasets are cheap; default to full size.
+    FlagParser flags;
+    SPNET_CHECK(flags.Parse(argc, argv).ok());
+    if (!flags.Has("scale")) options.scale = 1.0;
+  }
+  const gpusim::DeviceSpec device = options.Device();
+  const auto algorithms = core::MakeAllAlgorithms();
+
+  metrics::Table spec_table({"data", "dimension", "elements", "params"});
+  for (const auto& spec : datasets::TableThreeDatasets()) {
+    char params[64];
+    std::snprintf(params, sizeof(params), "(%.2f,%.2f,%.2f,%.2f)", spec.a,
+                  spec.b, spec.c, spec.d);
+    spec_table.AddRow({spec.name, metrics::FormatCount(spec.dimension),
+                       metrics::FormatCount(spec.elements), params});
+  }
+  std::printf("== Table III (C = A^2 suites) ==\n");
+  std::fputs(spec_table.ToString().c_str(), stdout);
+
+  std::vector<std::string> header = {"dataset"};
+  for (const auto& alg : algorithms) header.push_back(alg->name());
+  metrics::Table table(header);
+
+  for (const auto& spec : datasets::TableThreeDatasets()) {
+    auto a = datasets::MaterializeSynthetic(spec, options.scale,
+                                            options.seed);
+    SPNET_CHECK(a.ok()) << a.status().ToString();
+    double row_seconds = 0.0;
+    std::vector<std::string> row = {spec.name};
+    for (const auto& alg : algorithms) {
+      auto m = spgemm::Measure(*alg, *a, *a, device);
+      SPNET_CHECK(m.ok()) << alg->name();
+      if (alg->name() == "row-product") row_seconds = m->total_seconds;
+      row.push_back(metrics::FormatDouble(row_seconds / m->total_seconds));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("\n== Figure 16(a): speedups on synthetic datasets, C = A^2 "
+              "(%s, scale %.2f) ==\n",
+              device.name.c_str(), options.scale);
+  std::fputs(options.csv ? table.ToCsv().c_str() : table.ToString().c_str(),
+             stdout);
+  std::printf("\nPaper reference: cuSPARSE wins on the smallest matrix (s1) "
+              "but fades as size grows; skew (p1->p4) hurts cuSPARSE and "
+              "bhSPARSE while Block Reorganizer gains throughout; on the "
+              "sparsest inputs (sp4) Block Reorganizer leads via "
+              "B-Gathering.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace spnet
+
+int main(int argc, char** argv) { return spnet::Run(argc, argv); }

@@ -1,0 +1,74 @@
+// Reproduces Figure 16(b) (and prints the C = AB half of Table III):
+// speedups of all methods over the row-product baseline on C = A*B with
+// independently generated R-MAT pairs at scale 15..18, edge factor 16.
+//
+// Flags: --scale (linear factor on the R-MAT scale's edge budget is not
+// meaningful here, so --scale instead shifts the scale range: 1.0 runs
+// 15..18, 0.25 runs 13..16), --device, --seed, --csv.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/suite.h"
+#include "metrics/report.h"
+#include "spgemm/algorithm.h"
+
+namespace spnet {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::BenchOptions options = bench::BenchOptions::FromArgs(argc, argv);
+  {
+    // These sweeps never materialize C functionally, so the paper-scale
+    // datasets are cheap; default to full size.
+    FlagParser flags;
+    SPNET_CHECK(flags.Parse(argc, argv).ok());
+    if (!flags.Has("scale")) options.scale = 1.0;
+  }
+  const gpusim::DeviceSpec device = options.Device();
+  const auto algorithms = core::MakeAllAlgorithms();
+
+  // Shift the paper's 15..18 range down by log2(1/scale).
+  const int shift = static_cast<int>(
+      std::lround(std::log2(std::max(options.scale, 1e-6))));
+  const int lo = 15 + shift;
+  const int hi = 18 + shift;
+
+  std::vector<std::string> header = {"scale", "nnz(A)", "nnz(B)"};
+  for (const auto& alg : algorithms) header.push_back(alg->name());
+  metrics::Table table(header);
+
+  for (int scale = lo; scale <= hi; ++scale) {
+    auto pair = datasets::MaterializeAbPair(scale, options.seed);
+    SPNET_CHECK(pair.ok()) << pair.status().ToString();
+    double row_seconds = 0.0;
+    std::vector<std::string> row = {std::to_string(scale),
+                                    metrics::FormatCount(pair->a.nnz()),
+                                    metrics::FormatCount(pair->b.nnz())};
+    for (const auto& alg : algorithms) {
+      auto m = spgemm::Measure(*alg, pair->a, pair->b, device);
+      SPNET_CHECK(m.ok()) << alg->name();
+      if (alg->name() == "row-product") row_seconds = m->total_seconds;
+      row.push_back(metrics::FormatDouble(row_seconds / m->total_seconds));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("== Figure 16(b): speedups on C = AB, R-MAT edge factor 16 "
+              "(%s, scales %d..%d) ==\n",
+              device.name.c_str(), lo, hi);
+  std::fputs(options.csv ? table.ToCsv().c_str() : table.ToString().c_str(),
+             stdout);
+  std::printf("\nPaper reference: C = AB produces a less dense output than "
+              "C = A^2, most blocks are underloaded, and Block Reorganizer "
+              "gains ~1.09x over the baseline — mostly via B-Gathering — "
+              "scaling with input size.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace spnet
+
+int main(int argc, char** argv) { return spnet::Run(argc, argv); }

@@ -1,0 +1,79 @@
+#ifndef SPNET_BENCH_BENCH_UTIL_H_
+#define SPNET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "datasets/cache.h"
+#include "datasets/registry.h"
+#include "gpusim/device_spec.h"
+#include "sparse/csr_matrix.h"
+
+namespace spnet {
+namespace bench {
+
+/// Flags shared by every experiment binary.
+///
+///   --scale=<f>    linear dataset scale, 1.0 = paper dimensions
+///                  (default 0.25 keeps the full suite minutes-fast on one
+///                  core; EXPERIMENTS.md records both scales)
+///   --device=<s>   titanxp | v100 | 2080ti
+///   --seed=<n>     generator seed
+///   --csv          emit CSV instead of aligned tables
+struct BenchOptions {
+  double scale = 0.25;
+  uint64_t seed = 42;
+  std::string device_name = "titanxp";
+  bool csv = false;
+  /// When set (--cache=<dir>), generated datasets are cached on disk as
+  /// binary .spnb files and reloaded on later runs.
+  std::string cache_dir;
+
+  static BenchOptions FromArgs(int argc, const char* const* argv) {
+    FlagParser flags;
+    const Status s = flags.Parse(argc, argv);
+    SPNET_CHECK(s.ok()) << s.ToString();
+    BenchOptions o;
+    o.scale = flags.GetDouble("scale", o.scale);
+    o.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    o.device_name = flags.GetString("device", o.device_name);
+    o.csv = flags.GetBool("csv", false);
+    o.cache_dir = flags.GetString("cache", "");
+    return o;
+  }
+
+  gpusim::DeviceSpec Device() const {
+    if (device_name == "v100") return gpusim::DeviceSpec::TeslaV100();
+    if (device_name == "2080ti") return gpusim::DeviceSpec::Rtx2080Ti();
+    return gpusim::DeviceSpec::TitanXp();
+  }
+};
+
+/// Materializes one Table II dataset or dies (benches treat generator
+/// failure as fatal).
+inline sparse::CsrMatrix LoadDataset(const std::string& name,
+                                     const BenchOptions& options) {
+  auto spec = datasets::FindDataset(name);
+  SPNET_CHECK(spec.ok()) << spec.status().ToString();
+  auto m = datasets::MaterializeCached(*spec, options.scale,
+                                       options.cache_dir, options.seed);
+  SPNET_CHECK(m.ok()) << m.status().ToString();
+  return std::move(m).value();
+}
+
+/// All 28 Table II names in paper order.
+inline std::vector<std::string> AllDatasetNames() {
+  std::vector<std::string> names;
+  for (const auto& spec : datasets::TableTwoDatasets()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+}  // namespace bench
+}  // namespace spnet
+
+#endif  // SPNET_BENCH_BENCH_UTIL_H_

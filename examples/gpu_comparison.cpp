@@ -1,0 +1,68 @@
+// Device exploration: run the same multiplication across the three
+// simulated GPUs of the paper's Table I — and a hypothetical scaled-up
+// device — to see how the Block Reorganizer's gains track SM count,
+// cache size, and bandwidth (the paper's Figure 15 scalability question).
+//
+// Build & run:
+//   ./build/examples/gpu_comparison [--dataset youtube] [--scale 0.15]
+
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "core/block_reorganizer.h"
+#include "datasets/registry.h"
+#include "gpusim/device_spec.h"
+#include "spgemm/algorithm.h"
+
+int main(int argc, char** argv) {
+  using namespace spnet;
+  FlagParser flags;
+  if (!flags.Parse(argc, argv).ok()) return 1;
+  const std::string name = flags.GetString("dataset", "youtube");
+  const double scale = flags.GetDouble("scale", 0.15);
+
+  auto spec = datasets::FindDataset(name);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+    return 1;
+  }
+  auto a = datasets::Materialize(*spec, scale, 42);
+  SPNET_CHECK(a.ok()) << a.status().ToString();
+  std::printf("dataset %s at scale %.2f: %d nodes, %lld edges\n\n",
+              name.c_str(), scale, a->rows(),
+              static_cast<long long>(a->nnz()));
+
+  std::vector<gpusim::DeviceSpec> devices = {gpusim::DeviceSpec::TitanXp(),
+                                             gpusim::DeviceSpec::TeslaV100(),
+                                             gpusim::DeviceSpec::Rtx2080Ti()};
+  // A what-if device: double the SMs and L2 of the V100. The DeviceSpec
+  // is plain data — any architecture hypothesis is one struct away.
+  gpusim::DeviceSpec future = gpusim::DeviceSpec::TeslaV100();
+  future.name = "2x-V100 (hypothetical)";
+  future.num_sms *= 2;
+  future.l2_size *= 2;
+  future.dram_bw_bytes_per_cycle *= 1.5;
+  devices.push_back(future);
+
+  const auto row = spgemm::MakeRowProduct();
+  core::BlockReorganizerSpGemm reorganizer;
+
+  std::printf("%-24s %12s %12s %10s %8s\n", "device", "row-product",
+              "reorganizer", "speedup", "LBI");
+  for (const auto& device : devices) {
+    auto base = spgemm::Measure(*row, *a, *a, device);
+    auto opt = spgemm::Measure(reorganizer, *a, *a, device);
+    SPNET_CHECK(base.ok() && opt.ok());
+    std::printf("%-24s %9.3f ms %9.3f ms %9.2fx %8.2f\n",
+                device.name.c_str(), base->total_seconds * 1e3,
+                opt->total_seconds * 1e3,
+                base->total_seconds / opt->total_seconds,
+                opt->expansion.Lbi());
+  }
+  std::printf("\nThe reorganizer's edge persists across architectures "
+              "because sparsity and skew stress every SIMT design the same "
+              "way (paper Section VI-B).\n");
+  return 0;
+}

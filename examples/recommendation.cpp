@@ -1,0 +1,89 @@
+// Item-to-item co-occurrence recommendation with a rectangular spGEMM:
+// S = R^T * R over a user x item interaction matrix R gives item-item
+// co-occurrence counts — the classic "people who liked this also liked"
+// signal (paper intro refs [4], [5]).
+//
+// Build & run:
+//   ./build/examples/recommendation [--user_count N] [--item_count M]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "core/block_reorganizer.h"
+#include "datasets/generators.h"
+#include "gpusim/device_spec.h"
+#include "sparse/csr_matrix.h"
+#include "spgemm/algorithm.h"
+
+int main(int argc, char** argv) {
+  using namespace spnet;
+  using sparse::CsrMatrix;
+  using sparse::Index;
+  using sparse::Offset;
+  using sparse::SpanView;
+
+  FlagParser flags;
+  if (!flags.Parse(argc, argv).ok()) return 1;
+  const Index user_count =
+      static_cast<Index>(flags.GetInt("user_count", 40000));
+  const Index item_count =
+      static_cast<Index>(flags.GetInt("item_count", 8000));
+
+  // Interactions follow a power law on both sides: a few heavy users, a
+  // few blockbuster items.
+  datasets::PowerLawParams p;
+  p.rows = user_count;
+  p.cols = item_count;
+  p.nnz = 12 * static_cast<int64_t>(user_count);
+  p.row_skew = 0.7;   // user activity
+  p.col_skew = 1.0;   // item popularity
+  p.align_hubs = false;
+  p.seed = 11;
+  p.weighted = false;  // implicit feedback: 0/1 interactions
+  auto r = datasets::GeneratePowerLaw(p);
+  SPNET_CHECK(r.ok()) << r.status().ToString();
+  std::printf("interactions: %d users x %d items, %lld events\n",
+              r->rows(), r->cols(), static_cast<long long>(r->nnz()));
+
+  // S = R^T R: item-item co-occurrence. The transpose is a library
+  // primitive; the multiply runs through the Block Reorganizer.
+  const CsrMatrix rt = r->Transpose();
+  core::BlockReorganizerSpGemm reorganizer;
+  auto s = reorganizer.Compute(rt, *r);
+  SPNET_CHECK(s.ok()) << s.status().ToString();
+  std::printf("co-occurrence matrix: %d x %d, %lld nonzeros\n", s->rows(),
+              s->cols(), static_cast<long long>(s->nnz()));
+
+  // Top-5 "also liked" for the most popular item.
+  Index top_item = 0;
+  for (Index i = 0; i < rt.rows(); ++i) {
+    if (rt.RowNnz(i) > rt.RowNnz(top_item)) top_item = i;
+  }
+  const SpanView row = s->Row(top_item);
+  std::vector<std::pair<double, Index>> ranked;
+  for (Offset k = 0; k < row.size; ++k) {
+    if (row.indices[k] == top_item) continue;
+    ranked.emplace_back(row.values[k], row.indices[k]);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::printf("item %d (%lld interactions) - top co-occurrences:\n",
+              top_item, static_cast<long long>(rt.RowNnz(top_item)));
+  for (size_t k = 0; k < std::min<size_t>(5, ranked.size()); ++k) {
+    std::printf("  item %-6d shared by %.0f users\n", ranked[k].second,
+                ranked[k].first);
+  }
+
+  // Simulated device cost of the R^T R product.
+  auto m = spgemm::Measure(reorganizer, rt, *r,
+                           gpusim::DeviceSpec::TitanXp());
+  SPNET_CHECK(m.ok());
+  std::printf("simulated Titan Xp time: %.3f ms (expansion %.3f, merge "
+              "%.3f)\n",
+              m->total_seconds * 1e3, m->expansion.seconds * 1e3,
+              m->merge.seconds * 1e3);
+  return 0;
+}

@@ -1,0 +1,82 @@
+#ifndef SPNET_COMMON_LOGGING_H_
+#define SPNET_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace spnet {
+namespace internal_logging {
+
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log sink; writes a single line to stderr on destruction.
+/// kFatal aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << LevelTag() << " " << base << ":" << line << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fflush(stderr);
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* LevelTag() const {
+    switch (level_) {
+      case LogLevel::kInfo:
+        return "I";
+      case LogLevel::kWarning:
+        return "W";
+      case LogLevel::kError:
+        return "E";
+      case LogLevel::kFatal:
+        return "F";
+    }
+    return "?";
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace spnet
+
+#define SPNET_LOG_INFO                                                   \
+  ::spnet::internal_logging::LogMessage(                                 \
+      ::spnet::internal_logging::LogLevel::kInfo, __FILE__, __LINE__)    \
+      .stream()
+#define SPNET_LOG_WARNING                                                \
+  ::spnet::internal_logging::LogMessage(                                 \
+      ::spnet::internal_logging::LogLevel::kWarning, __FILE__, __LINE__) \
+      .stream()
+#define SPNET_LOG_ERROR                                                  \
+  ::spnet::internal_logging::LogMessage(                                 \
+      ::spnet::internal_logging::LogLevel::kError, __FILE__, __LINE__)   \
+      .stream()
+#define SPNET_LOG_FATAL                                                  \
+  ::spnet::internal_logging::LogMessage(                                 \
+      ::spnet::internal_logging::LogLevel::kFatal, __FILE__, __LINE__)   \
+      .stream()
+
+/// Invariant check that is active in all build types. Use for conditions
+/// that indicate a library bug rather than bad user input.
+#define SPNET_CHECK(cond)                                        \
+  if (!(cond)) SPNET_LOG_FATAL << "Check failed: " #cond " "
+
+#endif  // SPNET_COMMON_LOGGING_H_

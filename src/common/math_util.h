@@ -1,0 +1,40 @@
+#ifndef SPNET_COMMON_MATH_UTIL_H_
+#define SPNET_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+
+namespace spnet {
+
+/// ceil(a / b) for positive integers.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Smallest power of two >= v (v >= 1).
+constexpr int64_t NextPow2(int64_t v) {
+  int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Largest power of two <= v (v >= 1).
+constexpr int64_t PrevPow2(int64_t v) {
+  int64_t p = 1;
+  while ((p << 1) <= v) p <<= 1;
+  return p;
+}
+
+/// floor(log2(v)) for v >= 1.
+constexpr int Log2Floor(int64_t v) {
+  int r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// True if v is a power of two (v >= 1).
+constexpr bool IsPow2(int64_t v) { return v >= 1 && (v & (v - 1)) == 0; }
+
+}  // namespace spnet
+
+#endif  // SPNET_COMMON_MATH_UTIL_H_

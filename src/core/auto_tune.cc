@@ -1,0 +1,73 @@
+#include "core/auto_tune.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cmath>
+#include <vector>
+
+#include "spgemm/workload_model.h"
+
+namespace spnet {
+namespace core {
+
+Result<ReorganizerConfig> AutoTune(const sparse::CsrMatrix& a,
+                                   const sparse::CsrMatrix& b,
+                                   const gpusim::DeviceSpec& device,
+                                   const AutoTuneOptions& options) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch in AutoTune");
+  }
+  const spgemm::Workload workload = spgemm::BuildWorkload(a, b);
+  ReorganizerConfig config;
+  if (workload.flops == 0) {
+    return config;
+  }
+
+  // --- alpha: make the top `target` pairs the dominators. -------------------
+  std::vector<int64_t> work;
+  work.reserve(workload.pair_work.size());
+  for (int64_t w : workload.pair_work) {
+    if (w > 0) work.push_back(w);
+  }
+  const size_t target = std::min(
+      work.size(),
+      static_cast<size_t>(std::max(1.0, options.dominator_target_per_sm *
+                                            device.num_sms)));
+  if (!work.empty()) {
+    std::nth_element(work.begin(),
+                     work.begin() + static_cast<ptrdiff_t>(target - 1),
+                     work.end(), std::greater<int64_t>());
+    const double threshold =
+        static_cast<double>(work[target - 1]);
+    const double mean = static_cast<double>(workload.flops) /
+                        static_cast<double>(work.size());
+    config.alpha =
+        std::clamp(threshold / mean, options.min_alpha, options.max_alpha);
+  }
+
+  // --- beta: limit the heaviest fraction of output rows. --------------------
+  std::vector<int64_t> chat;
+  chat.reserve(workload.row_chat.size());
+  for (int64_t c : workload.row_chat) {
+    if (c > 0) chat.push_back(c);
+  }
+  if (!chat.empty()) {
+    const size_t limited = std::min(
+        chat.size() - 1,
+        static_cast<size_t>(std::max(
+            1.0, options.limited_row_fraction *
+                     static_cast<double>(chat.size()))));
+    std::nth_element(chat.begin(),
+                     chat.begin() + static_cast<ptrdiff_t>(limited),
+                     chat.end(), std::greater<int64_t>());
+    const double threshold = static_cast<double>(chat[limited]);
+    const double mean = static_cast<double>(workload.flops) /
+                        static_cast<double>(chat.size());
+    config.beta =
+        std::clamp(threshold / mean, options.min_beta, options.max_beta);
+  }
+  return config;
+}
+
+}  // namespace core
+}  // namespace spnet

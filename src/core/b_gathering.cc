@@ -1,0 +1,72 @@
+#include "core/b_gathering.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/math_util.h"
+
+namespace spnet {
+namespace core {
+
+using sparse::Index;
+
+GatherPlan BuildGatherPlan(const spgemm::Workload& workload,
+                           const std::vector<Index>& low_performers,
+                           const ReorganizerConfig& config) {
+  GatherPlan plan;
+
+  // Bin n holds pairs whose effective thread count fits in 2^n lanes
+  // (2^(n-1) < eff <= 2^n); low performers have eff < 32 so quotas go up
+  // to 32. The paper packs into 32-thread blocks (gathering factor
+  // 32/2^n); our combined blocks are block_size threads, which extends
+  // gathering to the 17..31-lane bin as well (factor block_size/32).
+  constexpr int kBins = 6;
+  std::vector<Index> bins[kBins];
+  for (Index pair : low_performers) {
+    const int64_t eff = workload.b_row_nnz[static_cast<size_t>(pair)];
+    if (eff <= 0) continue;
+    const int64_t quota = NextPow2(eff);
+    const int bin = Log2Floor(quota);
+    if (bin >= kBins) {
+      plan.ungathered.push_back(pair);
+      continue;
+    }
+    bins[bin].push_back(pair);
+  }
+
+  for (int n = 0; n < kBins; ++n) {
+    std::vector<Index>& bin = bins[n];
+    if (bin.empty()) continue;
+    const int micro_threads = 1 << n;
+    const int capacity = std::max(1, config.block_size / micro_threads);
+    if (capacity <= 1 || bin.size() < 2) {
+      // Gathering factor 1 (or a single member) gains nothing; keep the
+      // blocks as they are to avoid serialization (paper Fig. 6, bin 3).
+      for (Index pair : bin) plan.ungathered.push_back(pair);
+      continue;
+    }
+    // Sort by per-thread work (the A-column length) so the micro-blocks
+    // sharing a warp run similar lock-step iteration counts.
+    std::sort(bin.begin(), bin.end(), [&](Index x, Index y) {
+      const int64_t wx = workload.a_col_nnz[static_cast<size_t>(x)];
+      const int64_t wy = workload.a_col_nnz[static_cast<size_t>(y)];
+      if (wx != wy) return wx > wy;
+      return x < y;
+    });
+    for (size_t begin = 0; begin < bin.size();
+         begin += static_cast<size_t>(capacity)) {
+      const size_t end =
+          std::min(bin.size(), begin + static_cast<size_t>(capacity));
+      CombinedBlock block;
+      block.micro_threads = micro_threads;
+      block.pairs.assign(bin.begin() + static_cast<ptrdiff_t>(begin),
+                         bin.begin() + static_cast<ptrdiff_t>(end));
+      plan.gathered_pairs += static_cast<int64_t>(block.pairs.size());
+      plan.blocks.push_back(std::move(block));
+    }
+  }
+  return plan;
+}
+
+}  // namespace core
+}  // namespace spnet

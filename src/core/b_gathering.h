@@ -1,0 +1,43 @@
+#ifndef SPNET_CORE_B_GATHERING_H_
+#define SPNET_CORE_B_GATHERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reorganizer_config.h"
+#include "sparse/types.h"
+#include "spgemm/workload_model.h"
+
+namespace spnet {
+namespace core {
+
+/// One combined thread block produced by B-Gathering: `pairs.size()`
+/// micro-blocks, each granted `micro_threads` lanes (the power-of-two bin
+/// quota), packed until the block is full. With bin quota 2^n the
+/// gathering factor is block_size / 2^n, the paper's 32/2^n scaled to the
+/// launch block size.
+struct CombinedBlock {
+  int micro_threads = 1;  ///< lane quota per micro-block (2^n)
+  std::vector<sparse::Index> pairs;
+};
+
+/// The complete B-Gathering transformation.
+struct GatherPlan {
+  std::vector<CombinedBlock> blocks;
+  int64_t gathered_pairs = 0;
+  /// Pairs that stayed solo (their bin would gain nothing or serialize).
+  std::vector<sparse::Index> ungathered;
+};
+
+/// Bins low-performer pairs by the power of two covering their effective
+/// thread count (nnz of the B row), sorts each bin by per-thread work so
+/// lock-step warps carry similar lanes, and packs micro-blocks into
+/// combined blocks of `config.block_size` threads.
+GatherPlan BuildGatherPlan(const spgemm::Workload& workload,
+                           const std::vector<sparse::Index>& low_performers,
+                           const ReorganizerConfig& config);
+
+}  // namespace core
+}  // namespace spnet
+
+#endif  // SPNET_CORE_B_GATHERING_H_

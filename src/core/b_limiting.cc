@@ -1,0 +1,18 @@
+#include "core/b_limiting.h"
+
+namespace spnet {
+namespace core {
+
+spgemm::MergeOptions MakeLimitedMergeOptions(const Classification& classes,
+                                             const ReorganizerConfig& config) {
+  spgemm::MergeOptions options;
+  options.block_size = config.block_size;
+  if (config.enable_limiting && !classes.limited_rows.empty()) {
+    options.limit_row_threshold = classes.limit_row_threshold;
+    options.extra_shared_mem_bytes = config.limiting_extra_shmem;
+  }
+  return options;
+}
+
+}  // namespace core
+}  // namespace spnet

@@ -1,0 +1,22 @@
+#ifndef SPNET_CORE_B_LIMITING_H_
+#define SPNET_CORE_B_LIMITING_H_
+
+#include "core/reorganizer_config.h"
+#include "core/workload_classifier.h"
+#include "spgemm/workload_model.h"
+
+namespace spnet {
+namespace core {
+
+/// Derives the merge-kernel options implementing B-Limiting: rows above
+/// the classification's limiting threshold are merged by a kernel whose
+/// blocks request `config.limiting_extra_shmem` additional shared memory,
+/// which lowers how many merge blocks an SM can host and with it the L2
+/// pressure (paper Section IV-D, Figures 7 and 14).
+spgemm::MergeOptions MakeLimitedMergeOptions(const Classification& classes,
+                                             const ReorganizerConfig& config);
+
+}  // namespace core
+}  // namespace spnet
+
+#endif  // SPNET_CORE_B_LIMITING_H_

@@ -1,0 +1,72 @@
+#include "core/b_splitting.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace spnet {
+namespace core {
+
+using sparse::Index;
+
+std::vector<Index> SplitPlan::BuildMapper() const {
+  std::vector<Index> mapper;
+  mapper.reserve(static_cast<size_t>(total_fragments));
+  for (const SplitVector& v : vectors) {
+    for (int f = 0; f < v.factor; ++f) mapper.push_back(v.pair);
+  }
+  return mapper;
+}
+
+SplitPlan BuildSplitPlan(const spgemm::Workload& workload,
+                         const std::vector<Index>& dominators,
+                         const ReorganizerConfig& config,
+                         const gpusim::DeviceSpec& device) {
+  SplitPlan plan;
+  plan.vectors.reserve(dominators.size());
+
+  for (Index pair : dominators) {
+    const int64_t col_nnz = workload.a_col_nnz[static_cast<size_t>(pair)];
+    const int64_t row_nnz = workload.b_row_nnz[static_cast<size_t>(pair)];
+    if (col_nnz <= 0 || row_nnz <= 0) continue;
+
+    int64_t factor;
+    if (config.splitting_factor_override > 0) {
+      factor = NextPow2(config.splitting_factor_override);
+    } else {
+      // Spread each dominator past the SM count so the fragments can
+      // occupy the whole device...
+      factor = NextPow2(2 * device.num_sms);
+    }
+    // ...but never below one column element per fragment (the column is
+    // the per-thread loop; an empty fragment would be a no-op block).
+    factor = std::min(factor, PrevPow2(std::max<int64_t>(col_nnz, 1)));
+    factor = std::max<int64_t>(factor, 1);
+
+    SplitVector v;
+    v.pair = pair;
+    v.factor = static_cast<int>(factor);
+    v.offsets.resize(static_cast<size_t>(factor) + 1);
+    // Even carve with remainder spread over the leading fragments: the
+    // pointer-expansion trick shifts elements to the next vector
+    // sequentially, which produces exactly this shape.
+    const int64_t base = col_nnz / factor;
+    const int64_t rem = col_nnz % factor;
+    int64_t cursor = 0;
+    for (int64_t f = 0; f <= factor; ++f) {
+      v.offsets[static_cast<size_t>(f)] = cursor;
+      if (f < factor) cursor += base + (f < rem ? 1 : 0);
+    }
+    v.offsets.back() = col_nnz;
+
+    plan.total_fragments += factor;
+    // The dominator column and row vectors are copied into A'/B' on the
+    // host before pointer expansion.
+    plan.copied_elements += col_nnz + row_nnz;
+    plan.vectors.push_back(std::move(v));
+  }
+  return plan;
+}
+
+}  // namespace core
+}  // namespace spnet

@@ -1,0 +1,55 @@
+#ifndef SPNET_CORE_B_SPLITTING_H_
+#define SPNET_CORE_B_SPLITTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reorganizer_config.h"
+#include "gpusim/device_spec.h"
+#include "sparse/types.h"
+#include "spgemm/workload_model.h"
+
+namespace spnet {
+namespace core {
+
+/// One dominator pair split into power-of-two column fragments. The
+/// fragments reference contiguous sub-ranges of the dominator column of A
+/// (the paper rewrites the copied column's pointer values to carve these
+/// ranges); each fragment multiplies its sub-column with the *whole*
+/// B row.
+struct SplitVector {
+  sparse::Index pair = 0;          ///< original column/row pair id
+  int factor = 1;                  ///< number of fragments (2^n)
+  /// factor+1 offsets into the column's element range; fragment f covers
+  /// [offsets[f], offsets[f+1]).
+  std::vector<int64_t> offsets;
+};
+
+/// The complete B-Splitting transformation of one multiplication.
+struct SplitPlan {
+  std::vector<SplitVector> vectors;
+  int64_t total_fragments = 0;
+  /// Elements copied into the temporary matrices A'/B' — the host-side
+  /// preprocessing cost the paper includes in its timings.
+  int64_t copied_elements = 0;
+
+  /// The paper's mapper array: fragment id -> original pair id, in
+  /// dispatch order.
+  std::vector<sparse::Index> BuildMapper() const;
+};
+
+/// Chooses each dominator's splitting factor and fragment boundaries.
+///
+/// Heuristic (Section IV-C1): fragments must outnumber the SMs (factor of
+/// at least the next power of two above 2x num_sms) while every fragment
+/// keeps at least one column element; `config.splitting_factor_override`
+/// forces a uniform factor for the Figure 11/12 sweeps.
+SplitPlan BuildSplitPlan(const spgemm::Workload& workload,
+                         const std::vector<sparse::Index>& dominators,
+                         const ReorganizerConfig& config,
+                         const gpusim::DeviceSpec& device);
+
+}  // namespace core
+}  // namespace spnet
+
+#endif  // SPNET_CORE_B_SPLITTING_H_

@@ -1,0 +1,363 @@
+#include "core/block_reorganizer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/math_util.h"
+#include "core/b_limiting.h"
+#include "spgemm/plan.h"
+
+namespace spnet {
+namespace core {
+
+using gpusim::KernelDesc;
+using gpusim::Phase;
+using gpusim::ThreadBlockDesc;
+using sparse::CscMatrix;
+using sparse::CsrMatrix;
+using sparse::Index;
+using sparse::Offset;
+using sparse::SpanView;
+using sparse::Value;
+using spgemm::kElementBytes;
+using spgemm::MakePairBlock;
+using spgemm::PairBlockParams;
+using spgemm::SpGemmPlan;
+using spgemm::Workload;
+
+namespace {
+
+/// One combined (gathered) block's descriptor: micro-blocks share the
+/// block's warps; lanes of a warp belong to 32/micro_threads different
+/// pairs, so the warp's lock-step iteration count is the longest member's
+/// column length.
+ThreadBlockDesc MakeGatheredBlock(const Workload& workload,
+                                  const CombinedBlock& block,
+                                  int block_size) {
+  ThreadBlockDesc tb;
+  const int64_t lanes =
+      static_cast<int64_t>(block.pairs.size()) * block.micro_threads;
+  tb.threads = static_cast<int>(
+      std::min<int64_t>(block_size, std::max<int64_t>(32, NextPow2(lanes))));
+  tb.gathered_partitions = static_cast<int>(block.pairs.size());
+
+  const int micro_per_warp = std::max(1, 32 / block.micro_threads);
+  int64_t effective = 0;
+  int64_t useful = 0;
+  int64_t warp_issue = 0;
+  int64_t crit = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  for (size_t w = 0; w < block.pairs.size();
+       w += static_cast<size_t>(micro_per_warp)) {
+    const size_t w_end =
+        std::min(block.pairs.size(), w + static_cast<size_t>(micro_per_warp));
+    int64_t warp_max = 0;
+    for (size_t k = w; k < w_end; ++k) {
+      const size_t pair = static_cast<size_t>(block.pairs[k]);
+      const int64_t col = workload.a_col_nnz[pair];
+      const int64_t row = workload.b_row_nnz[pair];
+      warp_max = std::max(warp_max, col);
+      effective += row;
+      useful += col * row;
+      bytes_read += kElementBytes * (col + row);
+      bytes_written += kElementBytes * col * row;
+    }
+    warp_issue += warp_max;
+    crit = std::max(crit, warp_max);
+  }
+  tb.effective_threads =
+      static_cast<int>(std::min<int64_t>(effective, tb.threads));
+  tb.crit_ops = crit;
+  tb.warp_issue_ops = warp_issue;
+  tb.useful_lane_ops = useful;
+  tb.bytes_read = bytes_read;
+  tb.bytes_written = bytes_written;
+  tb.shared_mem_bytes = 1024;
+  return tb;
+}
+
+/// The device-side pre-process: one pass computing block-wise nnz (pair
+/// work) and row-wise nnz of C-hat, one pass binning the pairs.
+KernelDesc BuildPreprocessKernel(const Workload& workload, int64_t nnz_a) {
+  KernelDesc k;
+  k.label = "reorganizer-preprocess";
+  k.phase = Phase::kPreprocess;
+  const int64_t pairs = static_cast<int64_t>(workload.pair_work.size());
+  // One fused pass: count block-wise and row-wise nnz while binning the
+  // pairs (a histogram over the CSR pointer arrays).
+  spgemm::AppendBalancedStreamingBlocks(&k, nnz_a + pairs,
+                                        /*bytes_per_element=*/6,
+                                        /*ops_per_element=*/1.5);
+  return k;
+}
+
+}  // namespace
+
+Result<SpGemmPlan> BlockReorganizerSpGemm::Plan(
+    const CsrMatrix& a, const CsrMatrix& b,
+    const gpusim::DeviceSpec& device) const {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(
+        "dimension mismatch in Block Reorganizer plan");
+  }
+  const Workload workload = spgemm::BuildWorkload(a, b);
+  const Classification classes = Classify(workload, config_);
+
+  SpGemmPlan plan;
+  plan.flops = workload.flops;
+  plan.output_nnz = workload.output_nnz;
+
+  plan.kernels.push_back(BuildPreprocessKernel(workload, a.nnz()));
+
+  // --- Expansion: dominator kernel (split or not). --------------------------
+  KernelDesc dominators;
+  dominators.label = "expansion-dominators";
+  dominators.phase = Phase::kExpansion;
+  int64_t copied_elements = 0;
+  if (config_.enable_splitting && !classes.dominators.empty()) {
+    const SplitPlan split =
+        BuildSplitPlan(workload, classes.dominators, config_, device);
+    copied_elements = split.copied_elements;
+    for (const SplitVector& v : split.vectors) {
+      const size_t pair = static_cast<size_t>(v.pair);
+      const int64_t row_nnz = workload.b_row_nnz[pair];
+      const int64_t row_bytes = kElementBytes * row_nnz;
+      for (int f = 0; f < v.factor; ++f) {
+        const int64_t frag_cols = v.offsets[static_cast<size_t>(f) + 1] -
+                                  v.offsets[static_cast<size_t>(f)];
+        if (frag_cols <= 0) continue;
+        PairBlockParams p;
+        p.col_nnz = frag_cols;
+        p.row_nnz = row_nnz;
+        p.block_size = config_.block_size;
+        // All fragments after the first re-read a row vector that a
+        // sibling already pulled through the L2.
+        p.shared_read_bytes = f == 0 ? 0 : row_bytes;
+        dominators.blocks.push_back(MakePairBlock(p));
+      }
+    }
+  } else {
+    for (Index pair : classes.dominators) {
+      PairBlockParams p;
+      p.col_nnz = workload.a_col_nnz[static_cast<size_t>(pair)];
+      p.row_nnz = workload.b_row_nnz[static_cast<size_t>(pair)];
+      p.block_size = config_.block_size;
+      dominators.blocks.push_back(MakePairBlock(p));
+    }
+  }
+  if (!dominators.blocks.empty()) {
+    plan.kernels.push_back(std::move(dominators));
+  }
+
+  // --- Expansion: normal + gathered kernel. ---------------------------------
+  KernelDesc expansion;
+  expansion.label = "expansion-main";
+  expansion.phase = Phase::kExpansion;
+  expansion.flops = workload.flops;
+  for (Index pair : classes.normals) {
+    PairBlockParams p;
+    p.col_nnz = workload.a_col_nnz[static_cast<size_t>(pair)];
+    p.row_nnz = workload.b_row_nnz[static_cast<size_t>(pair)];
+    p.block_size = config_.block_size;
+    expansion.blocks.push_back(MakePairBlock(p));
+  }
+  if (config_.enable_gathering && !classes.low_performers.empty()) {
+    const GatherPlan gather =
+        BuildGatherPlan(workload, classes.low_performers, config_);
+    for (const CombinedBlock& block : gather.blocks) {
+      expansion.blocks.push_back(
+          MakeGatheredBlock(workload, block, config_.block_size));
+    }
+    for (Index pair : gather.ungathered) {
+      PairBlockParams p;
+      p.col_nnz = workload.a_col_nnz[static_cast<size_t>(pair)];
+      p.row_nnz = workload.b_row_nnz[static_cast<size_t>(pair)];
+      p.block_size = config_.block_size;
+      expansion.blocks.push_back(MakePairBlock(p));
+    }
+  } else {
+    for (Index pair : classes.low_performers) {
+      PairBlockParams p;
+      p.col_nnz = workload.a_col_nnz[static_cast<size_t>(pair)];
+      p.row_nnz = workload.b_row_nnz[static_cast<size_t>(pair)];
+      p.block_size = config_.block_size;
+      expansion.blocks.push_back(MakePairBlock(p));
+    }
+  }
+  if (!expansion.blocks.empty()) {
+    plan.kernels.push_back(std::move(expansion));
+  }
+
+  // --- Merge with B-Limiting. ------------------------------------------------
+  const spgemm::MergeOptions merge = MakeLimitedMergeOptions(classes, config_);
+  for (KernelDesc& k : spgemm::BuildMergeKernels(workload, merge)) {
+    plan.kernels.push_back(std::move(k));
+  }
+
+  plan.host_seconds = spgemm::HostPreprocessSeconds(
+      static_cast<int64_t>(workload.pair_work.size()), copied_elements);
+  return plan;
+}
+
+Result<CsrMatrix> BlockReorganizerSpGemm::Compute(const CsrMatrix& a,
+                                                  const CsrMatrix& b) const {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(
+        "dimension mismatch in Block Reorganizer compute");
+  }
+  const Workload workload = spgemm::BuildWorkload(a, b);
+  const Classification classes = Classify(workload, config_);
+  const gpusim::DeviceSpec device = gpusim::DeviceSpec::TitanXp();
+  const SplitPlan split =
+      config_.enable_splitting
+          ? BuildSplitPlan(workload, classes.dominators, config_, device)
+          : SplitPlan{};
+
+  // Relocation cursors from the precalculated row-wise C-hat sizes.
+  const Index rows = a.rows();
+  const Index cols = b.cols();
+  std::vector<Offset> chat_ptr(static_cast<size_t>(rows) + 1, 0);
+  for (Index r = 0; r < rows; ++r) {
+    chat_ptr[static_cast<size_t>(r) + 1] =
+        chat_ptr[static_cast<size_t>(r)] +
+        workload.row_chat[static_cast<size_t>(r)];
+  }
+  const Offset total = chat_ptr[static_cast<size_t>(rows)];
+  std::vector<Index> chat_cols(static_cast<size_t>(total));
+  std::vector<Value> chat_vals(static_cast<size_t>(total));
+  std::vector<Offset> cursor(chat_ptr.begin(), chat_ptr.end() - 1);
+
+  const CscMatrix a_csc = CscMatrix::FromCsr(a);
+  auto expand_pair_range = [&](Index pair, int64_t col_begin,
+                               int64_t col_end) {
+    const SpanView acol = a_csc.Col(pair);
+    const SpanView brow = b.Row(pair);
+    for (int64_t k = col_begin; k < col_end; ++k) {
+      const Index r = acol.indices[k];
+      const Value av = acol.values[k];
+      Offset& cur = cursor[static_cast<size_t>(r)];
+      for (Offset l = 0; l < brow.size; ++l) {
+        chat_cols[static_cast<size_t>(cur)] = brow.indices[l];
+        chat_vals[static_cast<size_t>(cur)] = av * brow.values[l];
+        ++cur;
+      }
+    }
+  };
+
+  // Dominators run through the split fragments via the mapper array —
+  // exactly what the GPU kernels dispatch — so the pointer-expansion
+  // transformation is exercised end to end.
+  if (config_.enable_splitting) {
+    const std::vector<Index> mapper = split.BuildMapper();
+    size_t fragment = 0;
+    for (const SplitVector& v : split.vectors) {
+      for (int f = 0; f < v.factor; ++f, ++fragment) {
+        const Index pair = mapper[fragment];
+        expand_pair_range(pair, v.offsets[static_cast<size_t>(f)],
+                          v.offsets[static_cast<size_t>(f) + 1]);
+      }
+    }
+  } else {
+    for (Index pair : classes.dominators) {
+      expand_pair_range(pair, 0,
+                        workload.a_col_nnz[static_cast<size_t>(pair)]);
+    }
+  }
+  for (Index pair : classes.normals) {
+    expand_pair_range(pair, 0, workload.a_col_nnz[static_cast<size_t>(pair)]);
+  }
+  // Gathered blocks change scheduling, not results; iterate in gather
+  // order when enabled to mirror dispatch order.
+  if (config_.enable_gathering) {
+    const GatherPlan gather =
+        BuildGatherPlan(workload, classes.low_performers, config_);
+    for (const CombinedBlock& block : gather.blocks) {
+      for (Index pair : block.pairs) {
+        expand_pair_range(pair, 0,
+                          workload.a_col_nnz[static_cast<size_t>(pair)]);
+      }
+    }
+    for (Index pair : gather.ungathered) {
+      expand_pair_range(pair, 0,
+                        workload.a_col_nnz[static_cast<size_t>(pair)]);
+    }
+  } else {
+    for (Index pair : classes.low_performers) {
+      expand_pair_range(pair, 0,
+                        workload.a_col_nnz[static_cast<size_t>(pair)]);
+    }
+  }
+
+  // Merge: row-wise dense accumulation, first-touch order.
+  std::vector<Value> acc(static_cast<size_t>(cols), 0.0);
+  std::vector<bool> touched(static_cast<size_t>(cols), false);
+  std::vector<Index> scratch;
+  std::vector<Offset> ptr(static_cast<size_t>(rows) + 1, 0);
+  std::vector<Index> out_idx;
+  std::vector<Value> out_val;
+  for (Index r = 0; r < rows; ++r) {
+    const Offset begin = chat_ptr[static_cast<size_t>(r)];
+    const Offset end = cursor[static_cast<size_t>(r)];
+    scratch.clear();
+    for (Offset k = begin; k < end; ++k) {
+      const Index c = chat_cols[static_cast<size_t>(k)];
+      if (!touched[static_cast<size_t>(c)]) {
+        touched[static_cast<size_t>(c)] = true;
+        scratch.push_back(c);
+      }
+      acc[static_cast<size_t>(c)] += chat_vals[static_cast<size_t>(k)];
+    }
+    for (Index c : scratch) {
+      out_idx.push_back(c);
+      out_val.push_back(acc[static_cast<size_t>(c)]);
+      acc[static_cast<size_t>(c)] = 0.0;
+      touched[static_cast<size_t>(c)] = false;
+    }
+    ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(out_idx.size());
+  }
+  return CsrMatrix::FromParts(rows, cols, std::move(ptr), std::move(out_idx),
+                              std::move(out_val));
+}
+
+Result<ReorganizerReport> BlockReorganizerSpGemm::Analyze(
+    const CsrMatrix& a, const CsrMatrix& b,
+    const gpusim::DeviceSpec& device) const {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch in Analyze");
+  }
+  const Workload workload = spgemm::BuildWorkload(a, b);
+  const Classification classes = Classify(workload, config_);
+
+  ReorganizerReport report;
+  report.dominators = static_cast<int64_t>(classes.dominators.size());
+  report.low_performers = static_cast<int64_t>(classes.low_performers.size());
+  report.normals = static_cast<int64_t>(classes.normals.size());
+  report.nonzero_pairs =
+      report.dominators + report.low_performers + report.normals;
+  report.limited_rows = static_cast<int64_t>(classes.limited_rows.size());
+  report.dominator_threshold = classes.dominator_threshold;
+  report.limit_row_threshold = classes.limit_row_threshold;
+
+  if (config_.enable_splitting) {
+    const SplitPlan split =
+        BuildSplitPlan(workload, classes.dominators, config_, device);
+    report.fragments = split.total_fragments;
+  }
+  if (config_.enable_gathering) {
+    const GatherPlan gather =
+        BuildGatherPlan(workload, classes.low_performers, config_);
+    report.combined_blocks = static_cast<int64_t>(gather.blocks.size());
+    report.gathered_pairs = gather.gathered_pairs;
+  }
+  return report;
+}
+
+std::unique_ptr<spgemm::SpGemmAlgorithm> MakeBlockReorganizer(
+    ReorganizerConfig config, std::string display_name) {
+  return std::make_unique<BlockReorganizerSpGemm>(config,
+                                                  std::move(display_name));
+}
+
+}  // namespace core
+}  // namespace spnet

@@ -1,0 +1,49 @@
+#include "core/suite.h"
+
+#include "core/block_reorganizer.h"
+
+namespace spnet {
+namespace core {
+
+std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeAllAlgorithms() {
+  std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> algorithms;
+  algorithms.push_back(spgemm::MakeRowProduct());
+  algorithms.push_back(spgemm::MakeOuterProduct());
+  algorithms.push_back(spgemm::MakeCusparseLike());
+  algorithms.push_back(spgemm::MakeCuspLike());
+  algorithms.push_back(spgemm::MakeBhsparseLike());
+  algorithms.push_back(spgemm::MakeMklLike());
+  algorithms.push_back(MakeBlockReorganizer());
+  return algorithms;
+}
+
+std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeExtendedSuite() {
+  auto algorithms = MakeAllAlgorithms();
+  algorithms.push_back(spgemm::MakeAcSpGemmLike());
+  algorithms.push_back(spgemm::MakeNsparseLike());
+  return algorithms;
+}
+
+std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeAblationSuite() {
+  std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> algorithms;
+  ReorganizerConfig limiting_only;
+  limiting_only.enable_splitting = false;
+  limiting_only.enable_gathering = false;
+  algorithms.push_back(MakeBlockReorganizer(limiting_only, "B-Limiting"));
+
+  ReorganizerConfig splitting_only;
+  splitting_only.enable_gathering = false;
+  splitting_only.enable_limiting = false;
+  algorithms.push_back(MakeBlockReorganizer(splitting_only, "B-Splitting"));
+
+  ReorganizerConfig gathering_only;
+  gathering_only.enable_splitting = false;
+  gathering_only.enable_limiting = false;
+  algorithms.push_back(MakeBlockReorganizer(gathering_only, "B-Gathering"));
+
+  algorithms.push_back(MakeBlockReorganizer({}, "Block-Reorganizer"));
+  return algorithms;
+}
+
+}  // namespace core
+}  // namespace spnet

@@ -1,0 +1,27 @@
+#ifndef SPNET_CORE_SUITE_H_
+#define SPNET_CORE_SUITE_H_
+
+#include <memory>
+#include <vector>
+
+#include "spgemm/algorithm.h"
+
+namespace spnet {
+namespace core {
+
+/// The full Figure 8/9 comparison set in plot order: row-product,
+/// outer-product, cuSPARSE, CUSP, bhSPARSE, MKL, Block-Reorganizer.
+std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeAllAlgorithms();
+
+/// The Figure 8 set plus the related-work extensions (AC-spGEMM and
+/// hash-based nsparse) — used by the extension benchmark.
+std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeExtendedSuite();
+
+/// The Figure 10 ablation set: B-Limiting only, B-Splitting only,
+/// B-Gathering only, and the full Block Reorganizer.
+std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeAblationSuite();
+
+}  // namespace core
+}  // namespace spnet
+
+#endif  // SPNET_CORE_SUITE_H_

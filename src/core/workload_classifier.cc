@@ -1,0 +1,58 @@
+#include "core/workload_classifier.h"
+
+#include <algorithm>
+
+namespace spnet {
+namespace core {
+
+using sparse::Index;
+
+Classification Classify(const spgemm::Workload& workload,
+                        const ReorganizerConfig& config) {
+  Classification c;
+
+  int64_t nonzero_pairs = 0;
+  for (int64_t w : workload.pair_work) {
+    if (w > 0) ++nonzero_pairs;
+  }
+  const double mean_pair_work =
+      nonzero_pairs > 0
+          ? static_cast<double>(workload.flops) /
+                static_cast<double>(nonzero_pairs)
+          : 0.0;
+  c.dominator_threshold = std::max<int64_t>(
+      1, static_cast<int64_t>(config.alpha * mean_pair_work));
+
+  for (size_t i = 0; i < workload.pair_work.size(); ++i) {
+    const int64_t work = workload.pair_work[i];
+    if (work == 0) continue;
+    const Index pair = static_cast<Index>(i);
+    if (work > c.dominator_threshold) {
+      c.dominators.push_back(pair);
+    } else if (workload.b_row_nnz[i] < 32) {
+      c.low_performers.push_back(pair);
+    } else {
+      c.normals.push_back(pair);
+    }
+  }
+
+  int64_t nonzero_rows = 0;
+  for (int64_t v : workload.row_chat) {
+    if (v > 0) ++nonzero_rows;
+  }
+  const double mean_row_chat =
+      nonzero_rows > 0 ? static_cast<double>(workload.flops) /
+                             static_cast<double>(nonzero_rows)
+                       : 0.0;
+  c.limit_row_threshold = std::max<int64_t>(
+      1, static_cast<int64_t>(config.beta * mean_row_chat));
+  for (size_t r = 0; r < workload.row_chat.size(); ++r) {
+    if (workload.row_chat[r] > c.limit_row_threshold) {
+      c.limited_rows.push_back(static_cast<Index>(r));
+    }
+  }
+  return c;
+}
+
+}  // namespace core
+}  // namespace spnet

@@ -1,0 +1,42 @@
+#include "datasets/cache.h"
+
+#include <cstdio>
+
+#include "sparse/serialization.h"
+
+namespace spnet {
+namespace datasets {
+
+std::string CachePath(const RealWorldSpec& spec, double scale,
+                      const std::string& cache_dir, uint64_t seed) {
+  char suffix[96];
+  std::snprintf(suffix, sizeof(suffix), "_s%.4f_seed%llu.spnb", scale,
+                static_cast<unsigned long long>(seed));
+  return cache_dir + "/" + spec.name + suffix;
+}
+
+Result<sparse::CsrMatrix> MaterializeCached(const RealWorldSpec& spec,
+                                            double scale,
+                                            const std::string& cache_dir,
+                                            uint64_t seed) {
+  if (cache_dir.empty()) {
+    return Materialize(spec, scale, seed);
+  }
+  const std::string path = CachePath(spec, scale, cache_dir, seed);
+  auto cached = sparse::ReadBinary(path);
+  if (cached.ok()) {
+    return cached;
+  }
+  // Miss (or a corrupted entry): regenerate and try to refresh the cache.
+  // A failed write is non-fatal — the generated matrix is still returned.
+  SPNET_ASSIGN_OR_RETURN(sparse::CsrMatrix m,
+                         Materialize(spec, scale, seed));
+  const Status written = sparse::WriteBinary(m, path);
+  if (!written.ok()) {
+    std::remove(path.c_str());  // never leave partial entries behind
+  }
+  return m;
+}
+
+}  // namespace datasets
+}  // namespace spnet

@@ -1,0 +1,32 @@
+#ifndef SPNET_DATASETS_CACHE_H_
+#define SPNET_DATASETS_CACHE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datasets/registry.h"
+
+namespace spnet {
+namespace datasets {
+
+/// Materializes a Table II stand-in through a binary on-disk cache:
+/// the first call generates and stores the matrix under
+/// `<cache_dir>/<name>_s<scale>_seed<seed>.spnb`; later calls load it in
+/// O(nnz) with no generation work. An unreadable or corrupted cache entry
+/// is regenerated, never trusted.
+///
+/// Pass an empty `cache_dir` to bypass the cache entirely (pure
+/// generation). The directory must already exist.
+Result<sparse::CsrMatrix> MaterializeCached(const RealWorldSpec& spec,
+                                            double scale,
+                                            const std::string& cache_dir,
+                                            uint64_t seed = 42);
+
+/// The cache file path MaterializeCached uses for these parameters.
+std::string CachePath(const RealWorldSpec& spec, double scale,
+                      const std::string& cache_dir, uint64_t seed);
+
+}  // namespace datasets
+}  // namespace spnet
+
+#endif  // SPNET_DATASETS_CACHE_H_

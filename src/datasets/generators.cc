@@ -1,0 +1,249 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spnet {
+namespace datasets {
+
+using sparse::CooMatrix;
+using sparse::CsrMatrix;
+using sparse::Index;
+
+namespace {
+
+// Packs an edge into one 64-bit key for dedup.
+uint64_t EdgeKey(Index r, Index c) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(r)) << 32) |
+         static_cast<uint32_t>(c);
+}
+
+// Draws one R-MAT edge by quadrant descent.
+void RmatEdge(const RmatParams& p, Rng* rng, Index* row, Index* col) {
+  Index r = 0;
+  Index c = 0;
+  for (int level = p.scale - 1; level >= 0; --level) {
+    const double u = rng->NextDouble();
+    if (u < p.a) {
+      // top-left: nothing to add
+    } else if (u < p.a + p.b) {
+      c |= (Index{1} << level);
+    } else if (u < p.a + p.b + p.c) {
+      r |= (Index{1} << level);
+    } else {
+      r |= (Index{1} << level);
+      c |= (Index{1} << level);
+    }
+  }
+  *row = r;
+  *col = c;
+}
+
+}  // namespace
+
+Result<CsrMatrix> GenerateRmat(const RmatParams& p) {
+  if (p.scale < 1 || p.scale > 30) {
+    return Status::InvalidArgument("rmat scale out of range: " +
+                                   std::to_string(p.scale));
+  }
+  if (p.edge_count < 0) {
+    return Status::InvalidArgument("negative edge count");
+  }
+  const double prob_sum = p.a + p.b + p.c + p.d;
+  if (std::fabs(prob_sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("rmat probabilities must sum to 1, got " +
+                                   std::to_string(prob_sum));
+  }
+  const Index n = Index{1} << p.scale;
+  Rng rng(p.seed);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(p.edge_count) * 2);
+  CooMatrix coo(n, n);
+  coo.Reserve(p.edge_count);
+
+  // With redraw_duplicates, cap total attempts so pathological parameter
+  // choices (tiny matrix, huge edge count) terminate.
+  const int64_t max_attempts = p.edge_count * 8 + 64;
+  int64_t attempts = 0;
+  int64_t accepted = 0;
+  while (accepted < p.edge_count && attempts < max_attempts) {
+    ++attempts;
+    Index r = 0, c = 0;
+    RmatEdge(p, &rng, &r, &c);
+    const uint64_t key = EdgeKey(r, c);
+    if (seen.count(key) > 0) {
+      if (p.redraw_duplicates) continue;
+      ++accepted;  // duplicate silently dropped but counted as a draw
+      continue;
+    }
+    seen.insert(key);
+    const double v = p.weighted ? (rng.NextDouble() + 1e-6) : 1.0;
+    coo.Add(r, c, v);
+    ++accepted;
+  }
+  return CsrMatrix::FromCoo(coo);
+}
+
+Result<CsrMatrix> GeneratePowerLaw(const PowerLawParams& p) {
+  if (p.rows <= 0 || p.cols <= 0) {
+    return Status::InvalidArgument("power-law generator needs positive dims");
+  }
+  if (p.nnz < 0 ||
+      p.nnz > static_cast<int64_t>(p.rows) * static_cast<int64_t>(p.cols)) {
+    return Status::InvalidArgument("nnz out of range");
+  }
+  Rng rng(p.seed);
+
+  // --- Row degrees: Zipf over ranks, scaled to sum ~ nnz. -------------------
+  // weight(rank k) = (k+1)^-row_skew; degrees rounded with a running
+  // remainder so the total lands exactly on nnz.
+  std::vector<double> row_weight(static_cast<size_t>(p.rows));
+  double wsum = 0.0;
+  for (Index i = 0; i < p.rows; ++i) {
+    const double w = std::pow(static_cast<double>(i) + 1.0, -p.row_skew);
+    row_weight[static_cast<size_t>(i)] = w;
+    wsum += w;
+  }
+  std::vector<int64_t> degree(static_cast<size_t>(p.rows), 0);
+  double carry = 0.0;
+  int64_t assigned = 0;
+  for (Index i = 0; i < p.rows; ++i) {
+    const double exact =
+        static_cast<double>(p.nnz) * row_weight[static_cast<size_t>(i)] / wsum +
+        carry;
+    int64_t d = static_cast<int64_t>(exact);
+    carry = exact - static_cast<double>(d);
+    d = std::min<int64_t>(d, p.cols);  // a row cannot exceed cols entries
+    degree[static_cast<size_t>(i)] = d;
+    assigned += d;
+  }
+  // Distribute any shortfall (from the per-row cap) round-robin.
+  for (Index i = 0; assigned < p.nnz && p.rows > 0;
+       i = (i + 1) % p.rows) {
+    if (degree[static_cast<size_t>(i)] < p.cols) {
+      degree[static_cast<size_t>(i)]++;
+      ++assigned;
+    }
+  }
+
+  // Shuffle which physical row gets which rank so hubs are not clustered
+  // at index 0 (matters for banded access patterns downstream).
+  std::vector<Index> row_of_rank(static_cast<size_t>(p.rows));
+  for (Index i = 0; i < p.rows; ++i) row_of_rank[static_cast<size_t>(i)] = i;
+  for (Index i = p.rows - 1; i > 0; --i) {
+    const Index j = static_cast<Index>(rng.NextBounded(
+        static_cast<uint64_t>(i) + 1));
+    std::swap(row_of_rank[static_cast<size_t>(i)],
+              row_of_rank[static_cast<size_t>(j)]);
+  }
+
+  // --- Column popularity: cumulative Zipf CDF, inverse-sampled. -------------
+  std::vector<double> col_cdf(static_cast<size_t>(p.cols));
+  double csum = 0.0;
+  for (Index j = 0; j < p.cols; ++j) {
+    csum += std::pow(static_cast<double>(j) + 1.0, -p.col_skew);
+    col_cdf[static_cast<size_t>(j)] = csum;
+  }
+  // Mapping from popularity rank to physical column. With align_hubs the
+  // row-rank permutation is reused so node i's row degree and column
+  // popularity share the same rank — hub nodes are hubs on both sides.
+  std::vector<Index> col_of_rank(static_cast<size_t>(p.cols));
+  if (p.align_hubs && p.rows == p.cols) {
+    col_of_rank = row_of_rank;
+  } else {
+    for (Index j = 0; j < p.cols; ++j) col_of_rank[static_cast<size_t>(j)] = j;
+    for (Index j = p.cols - 1; j > 0; --j) {
+      const Index k = static_cast<Index>(rng.NextBounded(
+          static_cast<uint64_t>(j) + 1));
+      std::swap(col_of_rank[static_cast<size_t>(j)],
+                col_of_rank[static_cast<size_t>(k)]);
+    }
+  }
+
+  CooMatrix coo(p.rows, p.cols);
+  coo.Reserve(p.nnz);
+  std::unordered_set<uint64_t> row_seen;
+  for (Index rank = 0; rank < p.rows; ++rank) {
+    const Index r = row_of_rank[static_cast<size_t>(rank)];
+    const int64_t d = degree[static_cast<size_t>(rank)];
+    row_seen.clear();
+    int64_t emitted = 0;
+    int64_t attempts = 0;
+    const int64_t max_attempts = d * 16 + 16;
+    while (emitted < d && attempts < max_attempts) {
+      ++attempts;
+      const double u = rng.NextDouble() * csum;
+      const auto it =
+          std::lower_bound(col_cdf.begin(), col_cdf.end(), u);
+      Index col_rank =
+          static_cast<Index>(std::distance(col_cdf.begin(), it));
+      if (col_rank >= p.cols) col_rank = p.cols - 1;
+      const Index c = col_of_rank[static_cast<size_t>(col_rank)];
+      if (!row_seen.insert(EdgeKey(0, c)).second) continue;
+      const double v = p.weighted ? (rng.NextDouble() + 1e-6) : 1.0;
+      coo.Add(r, c, v);
+      ++emitted;
+    }
+    // Dense-row fallback: hubs that exhausted sampling get sequential fill.
+    for (Index c = 0; emitted < d && c < p.cols; ++c) {
+      if (row_seen.insert(EdgeKey(0, c)).second) {
+        coo.Add(r, c, p.weighted ? (rng.NextDouble() + 1e-6) : 1.0);
+        ++emitted;
+      }
+    }
+  }
+  return CsrMatrix::FromCoo(coo);
+}
+
+Result<CsrMatrix> GenerateQuasiRegular(const QuasiRegularParams& p) {
+  if (p.n <= 0) {
+    return Status::InvalidArgument("quasi-regular generator needs n > 0");
+  }
+  if (p.nnz < 0 ||
+      p.nnz > static_cast<int64_t>(p.n) * static_cast<int64_t>(p.n)) {
+    return Status::InvalidArgument("nnz out of range");
+  }
+  Rng rng(p.seed);
+  const double mean_deg = static_cast<double>(p.nnz) / p.n;
+  const int64_t band = std::max<int64_t>(
+      8, static_cast<int64_t>(p.band_frac * static_cast<double>(p.n)));
+
+  CooMatrix coo(p.n, p.n);
+  coo.Reserve(p.nnz);
+  std::unordered_set<uint64_t> row_seen;
+  for (Index r = 0; r < p.n; ++r) {
+    const double jitter =
+        1.0 + p.degree_jitter * (2.0 * rng.NextDouble() - 1.0);
+    int64_t d = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(mean_deg * jitter)));
+    d = std::min<int64_t>(d, 2 * band + 1);
+    row_seen.clear();
+    // Diagonal first (FEM matrices have full diagonals), then band fill.
+    coo.Add(r, r, p.weighted ? (rng.NextDouble() + 1e-6) : 1.0);
+    row_seen.insert(EdgeKey(0, r));
+    int64_t emitted = 1;
+    int64_t attempts = 0;
+    const int64_t max_attempts = d * 16 + 16;
+    while (emitted < d && attempts < max_attempts) {
+      ++attempts;
+      const int64_t offset =
+          static_cast<int64_t>(rng.NextBounded(2 * band + 1)) - band;
+      const int64_t c = static_cast<int64_t>(r) + offset;
+      if (c < 0 || c >= p.n) continue;
+      if (!row_seen.insert(EdgeKey(0, static_cast<Index>(c))).second) continue;
+      coo.Add(r, static_cast<Index>(c),
+              p.weighted ? (rng.NextDouble() + 1e-6) : 1.0);
+      ++emitted;
+    }
+  }
+  return CsrMatrix::FromCoo(coo);
+}
+
+}  // namespace datasets
+}  // namespace spnet

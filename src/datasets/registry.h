@@ -1,0 +1,82 @@
+#ifndef SPNET_DATASETS_REGISTRY_H_
+#define SPNET_DATASETS_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datasets/generators.h"
+#include "sparse/csr_matrix.h"
+
+namespace spnet {
+namespace datasets {
+
+/// Distribution family of a real-world stand-in. Mirrors the paper's split:
+/// Florida Suite Sparse matrices are quasi-regular (FEM/mesh/circuit);
+/// Stanford SNAP networks are power-law skewed.
+enum class Family {
+  kFloridaRegular,
+  kStanfordPowerLaw,
+};
+
+/// Calibration record for one of the paper's 28 real-world datasets
+/// (Table II). `dim`/`nnz` are the published values; `skew` is the Zipf
+/// exponent (power-law family) or degree jitter (regular family) chosen so
+/// the generated stand-in lands near the published nnz(C) of C = A^2; the
+/// measured comparison is printed by bench_table2_datasets and recorded in
+/// EXPERIMENTS.md.
+struct RealWorldSpec {
+  std::string name;
+  Family family = Family::kFloridaRegular;
+  sparse::Index dim = 0;
+  int64_t nnz = 0;
+  int64_t paper_nnz_c = 0;  ///< nnz(C) the paper reports for C = A^2
+  double skew = 0.0;
+  double band_frac = 0.02;  ///< regular family only
+};
+
+/// All 28 Table II datasets, Florida first then Stanford, in paper order.
+const std::vector<RealWorldSpec>& TableTwoDatasets();
+
+/// Looks up a dataset by name.
+Result<RealWorldSpec> FindDataset(const std::string& name);
+
+/// The 10 Stanford (skewed) dataset names used by Figures 11, 12 and 14.
+std::vector<std::string> StanfordDatasetNames();
+
+/// Generates the stand-in matrix for `spec`, linearly scaled: dimensions
+/// and nnz are multiplied by `scale` (1.0 = paper size). Deterministic for
+/// a given (spec, scale, seed).
+Result<sparse::CsrMatrix> Materialize(const RealWorldSpec& spec, double scale,
+                                      uint64_t seed = 42);
+
+/// One synthetic dataset of Table III (C = A^2 suites S, P, SP).
+struct SyntheticSpec {
+  std::string name;
+  int64_t dimension = 0;  ///< N
+  int64_t elements = 0;   ///< requested nnz
+  double a = 0.25, b = 0.25, c = 0.25, d = 0.25;
+};
+
+/// Table III suites: s1..s4 (scalability), p1..p4 (skewness),
+/// sp1..sp4 (sparsity), in paper order.
+const std::vector<SyntheticSpec>& TableThreeDatasets();
+
+/// Generates a Table III matrix at `scale` (1.0 = paper size).
+Result<sparse::CsrMatrix> MaterializeSynthetic(const SyntheticSpec& spec,
+                                               double scale,
+                                               uint64_t seed = 42);
+
+/// One C = AB pair of Table III: R-MAT with edge-factor 16 at the given
+/// scale parameter (15..18 in the paper).
+struct AbPair {
+  sparse::CsrMatrix a;
+  sparse::CsrMatrix b;
+};
+Result<AbPair> MaterializeAbPair(int rmat_scale, uint64_t seed = 42);
+
+}  // namespace datasets
+}  // namespace spnet
+
+#endif  // SPNET_DATASETS_REGISTRY_H_

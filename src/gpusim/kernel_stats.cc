@@ -1,0 +1,54 @@
+#include "gpusim/kernel_stats.h"
+
+#include <algorithm>
+
+namespace spnet {
+namespace gpusim {
+
+double KernelStats::Lbi() const {
+  if (sm_busy_cycles.empty()) return 1.0;
+  double max_busy = 0.0;
+  double sum = 0.0;
+  for (double c : sm_busy_cycles) {
+    max_busy = std::max(max_busy, c);
+    sum += c;
+  }
+  if (max_busy <= 0.0) return 1.0;
+  const double mean = sum / static_cast<double>(sm_busy_cycles.size());
+  return mean / max_busy;
+}
+
+double KernelStats::SmUtilization() const {
+  if (sm_busy_cycles.empty() || cycles <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (double c : sm_busy_cycles) sum += c;
+  return sum / (cycles * static_cast<double>(sm_busy_cycles.size()));
+}
+
+void KernelStats::Accumulate(const KernelStats& other) {
+  cycles += other.cycles;
+  seconds += other.seconds;
+  if (sm_busy_cycles.size() < other.sm_busy_cycles.size()) {
+    sm_busy_cycles.resize(other.sm_busy_cycles.size(), 0.0);
+  }
+  for (size_t i = 0; i < other.sm_busy_cycles.size(); ++i) {
+    sm_busy_cycles[i] += other.sm_busy_cycles[i];
+  }
+  num_blocks += other.num_blocks;
+  num_warps += other.num_warps;
+  useful_lane_ops += other.useful_lane_ops;
+  issued_lane_slots += other.issued_lane_slots;
+  l2_read_bytes += other.l2_read_bytes;
+  l2_write_bytes += other.l2_write_bytes;
+  dram_bytes += other.dram_bytes;
+  // Time-weight the resident-block average by each phase's duration.
+  if (cycles > 0.0) {
+    const double prev_cycles = cycles - other.cycles;
+    avg_resident_blocks = (avg_resident_blocks * prev_cycles +
+                           other.avg_resident_blocks * other.cycles) /
+                          cycles;
+  }
+}
+
+}  // namespace gpusim
+}  // namespace spnet

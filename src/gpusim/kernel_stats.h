@@ -1,0 +1,68 @@
+#ifndef SPNET_GPUSIM_KERNEL_STATS_H_
+#define SPNET_GPUSIM_KERNEL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spnet {
+namespace gpusim {
+
+/// Counters produced by simulating one kernel launch — the simulator's
+/// equivalent of an nvprof profile.
+struct KernelStats {
+  double cycles = 0.0;  ///< kernel wall time in device cycles
+  double seconds = 0.0;
+
+  /// Busy cycles per SM (for LBI / utilization, paper Eq. 3 & Fig. 3a).
+  std::vector<double> sm_busy_cycles;
+
+  int64_t num_blocks = 0;
+  int64_t num_warps = 0;
+
+  /// Lane-slot accounting for the sync-stall metric (Fig. 13).
+  int64_t useful_lane_ops = 0;
+  int64_t issued_lane_slots = 0;  ///< warp_issue_ops * 32, summed
+
+  /// Memory traffic split by where it was served.
+  int64_t l2_read_bytes = 0;
+  int64_t l2_write_bytes = 0;
+  int64_t dram_bytes = 0;
+
+  /// Mean resident thread blocks per SM while the kernel ran.
+  double avg_resident_blocks = 0.0;
+
+  /// Fraction of issued lane slots that did no useful work.
+  double SyncStallFraction() const {
+    if (issued_lane_slots == 0) return 0.0;
+    return 1.0 -
+           static_cast<double>(useful_lane_ops) /
+               static_cast<double>(issued_lane_slots);
+  }
+
+  /// Achieved L2 read throughput in GB/s.
+  double L2ReadThroughputGBs() const {
+    if (seconds <= 0.0) return 0.0;
+    return static_cast<double>(l2_read_bytes) / seconds / 1e9;
+  }
+
+  /// Achieved L2 write throughput in GB/s.
+  double L2WriteThroughputGBs() const {
+    if (seconds <= 0.0) return 0.0;
+    return static_cast<double>(l2_write_bytes) / seconds / 1e9;
+  }
+
+  /// Load balancing index, paper Eq. (3): mean SM busy time normalized by
+  /// the maximum SM busy time.
+  double Lbi() const;
+
+  /// Fraction of SM-cycles that were busy until the last block retired.
+  double SmUtilization() const;
+
+  /// Merges another kernel's counters into this one (phases of a pipeline).
+  void Accumulate(const KernelStats& other);
+};
+
+}  // namespace gpusim
+}  // namespace spnet
+
+#endif  // SPNET_GPUSIM_KERNEL_STATS_H_

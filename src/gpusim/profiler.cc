@@ -1,0 +1,75 @@
+#include "gpusim/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace spnet {
+namespace gpusim {
+
+Status Profiler::Profile(const std::vector<KernelDesc>& kernels) {
+  profiles_.clear();
+  profiles_.reserve(kernels.size());
+  for (const KernelDesc& k : kernels) {
+    SPNET_ASSIGN_OR_RETURN(KernelStats stats, simulator_.RunKernel(k));
+    KernelProfile p;
+    p.label = k.label;
+    p.phase = k.phase;
+    p.stats = std::move(stats);
+    profiles_.push_back(std::move(p));
+  }
+  return Status::Ok();
+}
+
+KernelStats Profiler::Total() const {
+  KernelStats total;
+  total.sm_busy_cycles.assign(
+      static_cast<size_t>(simulator_.device().num_sms), 0.0);
+  for (const KernelProfile& p : profiles_) total.Accumulate(p.stats);
+  total.seconds = simulator_.device().CyclesToSeconds(total.cycles);
+  return total;
+}
+
+std::string Profiler::ReportTable() const {
+  const double total_cycles = std::max(Total().cycles, 1.0);
+  std::string out =
+      "kernel                        phase       time%    ms       blocks"
+      "    stall%   L2 GB/s   LBI\n";
+  char line[160];
+  for (const KernelProfile& p : profiles_) {
+    std::snprintf(
+        line, sizeof(line),
+        "%-28s  %-10s  %5.1f  %8.3f  %8lld  %6.1f  %8.1f  %5.2f\n",
+        p.label.c_str(), PhaseName(p.phase),
+        100.0 * p.stats.cycles / total_cycles, p.stats.seconds * 1e3,
+        static_cast<long long>(p.stats.num_blocks),
+        100.0 * p.stats.SyncStallFraction(),
+        p.stats.L2ReadThroughputGBs() + p.stats.L2WriteThroughputGBs(),
+        p.stats.Lbi());
+    out += line;
+  }
+  return out;
+}
+
+std::string Profiler::SmHistogram(size_t kernel_index, int width) const {
+  if (kernel_index >= profiles_.size()) return "";
+  const KernelStats& stats = profiles_[kernel_index].stats;
+  std::vector<double> busy = stats.sm_busy_cycles;
+  std::sort(busy.begin(), busy.end(), std::greater<double>());
+  const double max_busy = busy.empty() ? 0.0 : busy.front();
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < busy.size(); ++i) {
+    const int bar =
+        max_busy > 0
+            ? static_cast<int>(busy[i] / max_busy * width + 0.5)
+            : 0;
+    std::snprintf(line, sizeof(line), "SM %2zu |%-*s| %5.1f%%\n", i, width,
+                  std::string(static_cast<size_t>(bar), '#').c_str(),
+                  max_busy > 0 ? 100.0 * busy[i] / max_busy : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gpusim
+}  // namespace spnet

@@ -1,0 +1,53 @@
+#ifndef SPNET_GPUSIM_PROFILER_H_
+#define SPNET_GPUSIM_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gpusim/kernel_desc.h"
+#include "gpusim/kernel_stats.h"
+#include "gpusim/simulator.h"
+
+namespace spnet {
+namespace gpusim {
+
+/// One kernel's line in a profile report.
+struct KernelProfile {
+  std::string label;
+  Phase phase = Phase::kExpansion;
+  KernelStats stats;
+};
+
+/// The simulator's answer to an nvprof session: per-kernel profiles for a
+/// pipeline, plus report formatting.
+class Profiler {
+ public:
+  explicit Profiler(DeviceSpec device) : simulator_(std::move(device)) {}
+
+  /// Runs every kernel and records its profile.
+  Status Profile(const std::vector<KernelDesc>& kernels);
+
+  const std::vector<KernelProfile>& profiles() const { return profiles_; }
+
+  /// Aggregate over all profiled kernels.
+  KernelStats Total() const;
+
+  /// nvprof-style text table: one row per kernel with time share, block
+  /// count, stalls, memory throughput and LBI.
+  std::string ReportTable() const;
+
+  /// ASCII per-SM busy histogram of the given kernel (index into
+  /// profiles()), the Figure 3(a)-style view. `width` is the bar length of
+  /// the busiest SM.
+  std::string SmHistogram(size_t kernel_index, int width = 40) const;
+
+ private:
+  Simulator simulator_;
+  std::vector<KernelProfile> profiles_;
+};
+
+}  // namespace gpusim
+}  // namespace spnet
+
+#endif  // SPNET_GPUSIM_PROFILER_H_

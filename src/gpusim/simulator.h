@@ -1,0 +1,80 @@
+#ifndef SPNET_GPUSIM_SIMULATOR_H_
+#define SPNET_GPUSIM_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel_desc.h"
+#include "gpusim/kernel_stats.h"
+
+namespace spnet {
+namespace gpusim {
+
+/// Resident-block capacity of one SM for blocks with the given resource
+/// footprint — the CUDA occupancy rule that B-Limiting manipulates via
+/// extra shared memory.
+int OccupancyBlocksPerSm(const DeviceSpec& device, int threads_per_block,
+                         int64_t shared_mem_per_block);
+
+/// Deterministic SIMT execution-model simulator.
+///
+/// The model is event-driven at thread-block granularity: blocks are
+/// dispatched in order to the SM with free capacity, each block's duration
+/// is computed analytically from its workload descriptor and the SM's
+/// residency at dispatch time, and the kernel retires when the last block
+/// does. The analytic per-block model charges:
+///
+///   issue    = warp_issue_ops * cpi / min(eligible_warps, scheduler share)
+///   bandwidth= bytes / (per-SM LSU share), inflated by global L2/DRAM
+///              saturation (two-pass fixed point)
+///   latency  = dependent-transaction chains * avg service latency
+///              / hiding(eligible resident warps)
+///   duration = max(issue, bandwidth) + latency + atomic serialization
+///
+/// The L2 model serves `shared_read_bytes` (cross-block hot data) plus a
+/// capacity-dependent fraction of the remaining traffic; the fraction
+/// falls as the aggregate resident working set outgrows the L2 — the
+/// mechanism behind B-Limiting's merge-phase gains.
+class Simulator {
+ public:
+  explicit Simulator(DeviceSpec device) : device_(std::move(device)) {}
+
+  const DeviceSpec& device() const { return device_; }
+
+  /// Simulates one kernel launch and returns its profile.
+  Result<KernelStats> RunKernel(const KernelDesc& kernel) const;
+
+  /// Simulates a sequence of dependent kernel launches (a pipeline);
+  /// the returned stats accumulate all phases.
+  Result<KernelStats> RunPipeline(const std::vector<KernelDesc>& kernels) const;
+
+ private:
+  struct BlockCost {
+    double cycles = 0.0;
+    double memory_cycles = 0.0;
+    double lsu_service = 0.0;    // this block's demand on the SM's LSU pipe
+    double issue_service = 0.0;  // this block's demand on the warp schedulers
+    double dram_service = 0.0;   // this block's demand on device DRAM
+    int64_t l2_read_bytes = 0;
+    int64_t l2_write_bytes = 0;
+    int64_t dram_bytes = 0;
+  };
+
+  /// Per-block analytic cost given the dispatch-time residency snapshot
+  /// and the outstanding backlogs of the three shared servers (SM warp
+  /// schedulers, SM LSU pipe, device-wide DRAM).
+  BlockCost CostBlock(const ThreadBlockDesc& tb, int resident_tbs,
+                      int resident_eligible_warps, double lsu_backlog,
+                      double issue_backlog, double dram_backlog) const;
+
+  /// The scheduling pass.
+  KernelStats Schedule(const KernelDesc& kernel) const;
+
+  DeviceSpec device_;
+};
+
+}  // namespace gpusim
+}  // namespace spnet
+
+#endif  // SPNET_GPUSIM_SIMULATOR_H_

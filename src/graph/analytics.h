@@ -1,0 +1,85 @@
+#ifndef SPNET_GRAPH_ANALYTICS_H_
+#define SPNET_GRAPH_ANALYTICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sparse/csr_matrix.h"
+#include "spgemm/algorithm.h"
+
+namespace spnet {
+namespace graph {
+
+/// The network-analysis kernels the paper's introduction motivates
+/// (ranking, similarity computation, recommendation), built on the
+/// library's sparse primitives and — where they are spGEMM-shaped — on a
+/// pluggable SpGemmAlgorithm so the Block Reorganizer accelerates them.
+
+/// PageRank options.
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 100;
+  /// L1 change below which iteration stops.
+  double tolerance = 1e-9;
+};
+
+struct PageRankResult {
+  std::vector<sparse::Value> scores;  ///< length = nodes, sums to ~1
+  int iterations = 0;
+  double residual = 0.0;  ///< final L1 change
+};
+
+/// Power-iteration PageRank on the (possibly weighted) adjacency matrix.
+/// Dangling nodes redistribute uniformly.
+Result<PageRankResult> PageRank(const sparse::CsrMatrix& adjacency,
+                                const PageRankOptions& options = {});
+
+/// Cosine similarity between the rows of `a` (users, documents, nodes):
+/// S = N * N^T with N the L2-row-normalized matrix — an spGEMM, executed
+/// through `algorithm`. Keeps only the `top_k` most similar peers per row
+/// and drops self-similarity.
+Result<sparse::CsrMatrix> CosineSimilarity(
+    const sparse::CsrMatrix& a, const spgemm::SpGemmAlgorithm& algorithm,
+    sparse::Index top_k = 10);
+
+/// Nodes reachable within `hops` steps of each node: the boolean pattern
+/// of (A + I)^hops, computed by repeated squaring through `algorithm`.
+/// Values in the result are 1.0. `hops` must be >= 1.
+Result<sparse::CsrMatrix> KHopReachability(
+    const sparse::CsrMatrix& adjacency,
+    const spgemm::SpGemmAlgorithm& algorithm, int hops);
+
+/// Counts triangles in an undirected simple graph (symmetric 0/1
+/// adjacency, empty diagonal): sum(A .* A^2) / 6, with A^2 computed
+/// through `algorithm`.
+Result<int64_t> CountTriangles(const sparse::CsrMatrix& adjacency,
+                               const spgemm::SpGemmAlgorithm& algorithm);
+
+/// Common-neighbor link prediction scores: for each node, the `top_k`
+/// non-adjacent nodes sharing the most neighbors (A^2 masked by the
+/// complement of A, diagonal removed).
+Result<sparse::CsrMatrix> CommonNeighborScores(
+    const sparse::CsrMatrix& adjacency,
+    const spgemm::SpGemmAlgorithm& algorithm, sparse::Index top_k = 10);
+
+/// BFS levels from `source` over the out-edges; unreachable nodes get -1.
+Result<std::vector<int>> BfsLevels(const sparse::CsrMatrix& adjacency,
+                                   sparse::Index source);
+
+/// Connected-component labels of an *undirected* graph (the adjacency is
+/// symmetrized internally): label[i] is the smallest node id in i's
+/// component.
+Result<std::vector<sparse::Index>> ConnectedComponents(
+    const sparse::CsrMatrix& adjacency);
+
+/// Jaccard similarity of node neighborhoods for every adjacent pair:
+/// J(u, v) = |N(u) ∩ N(v)| / |N(u) ∪ N(v)|, with the intersection counts
+/// computed as the spGEMM A^2 masked by A through `algorithm`.
+Result<sparse::CsrMatrix> JaccardSimilarity(
+    const sparse::CsrMatrix& adjacency,
+    const spgemm::SpGemmAlgorithm& algorithm);
+
+}  // namespace graph
+}  // namespace spnet
+
+#endif  // SPNET_GRAPH_ANALYTICS_H_

@@ -1,0 +1,104 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace spnet {
+namespace metrics {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  SPNET_CHECK(row.size() == header_.size())
+      << "row has " << row.size() << " cells, header has " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += "\n";
+    return out;
+  };
+  std::string out = render_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule.append(width[c], '-');
+    if (c + 1 < header_.size()) rule.append(2, ' ');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto render = [](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) out += ",";
+    }
+    out += "\n";
+    return out;
+  };
+  std::string out = render(header_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+std::string FormatCount(int64_t value) {
+  char buf[32];
+  const double v = static_cast<double>(value);
+  if (value >= 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", v / 1e9);
+  } else if (value >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (value >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  }
+  return buf;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double ArithmeticMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace metrics
+}  // namespace spnet

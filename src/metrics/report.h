@@ -1,0 +1,47 @@
+#ifndef SPNET_METRICS_REPORT_H_
+#define SPNET_METRICS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spnet {
+namespace metrics {
+
+/// Plain-text table builder used by every benchmark binary to print the
+/// paper's rows/series in a uniform, diff-friendly format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; cell count must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns.
+  std::string ToString() const;
+
+  /// Renders as CSV (for plotting scripts).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "2.7M", "148M", "62.5k" — the compact counts used in the paper tables.
+std::string FormatCount(int64_t value);
+
+/// Fixed-precision double ("1.43").
+std::string FormatDouble(double value, int precision = 2);
+
+/// Geometric mean of positive values (0 if empty); the right mean for
+/// speedup ratios.
+double GeometricMean(const std::vector<double>& values);
+
+/// Arithmetic mean (0 if empty).
+double ArithmeticMean(const std::vector<double>& values);
+
+}  // namespace metrics
+}  // namespace spnet
+
+#endif  // SPNET_METRICS_REPORT_H_

@@ -1,0 +1,55 @@
+#include "sparse/coo_matrix.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+namespace spnet {
+namespace sparse {
+
+void CooMatrix::SortAndCombine() {
+  const size_t n = row_.size();
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    if (row_[a] != row_[b]) return row_[a] < row_[b];
+    return col_[a] < col_[b];
+  });
+
+  std::vector<Index> new_row;
+  std::vector<Index> new_col;
+  std::vector<Value> new_val;
+  new_row.reserve(n);
+  new_col.reserve(n);
+  new_val.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    const size_t i = perm[k];
+    if (!new_row.empty() && new_row.back() == row_[i] &&
+        new_col.back() == col_[i]) {
+      new_val.back() += val_[i];
+    } else {
+      new_row.push_back(row_[i]);
+      new_col.push_back(col_[i]);
+      new_val.push_back(val_[i]);
+    }
+  }
+  row_ = std::move(new_row);
+  col_ = std::move(new_col);
+  val_ = std::move(new_val);
+}
+
+Status CooMatrix::Validate() const {
+  for (size_t i = 0; i < row_.size(); ++i) {
+    if (row_[i] < 0 || row_[i] >= rows_ || col_[i] < 0 || col_[i] >= cols_) {
+      return Status::OutOfRange("triplet " + std::to_string(i) +
+                                " out of bounds: (" + std::to_string(row_[i]) +
+                                ", " + std::to_string(col_[i]) + ") in " +
+                                std::to_string(rows_) + "x" +
+                                std::to_string(cols_));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sparse
+}  // namespace spnet

@@ -1,0 +1,29 @@
+#ifndef SPNET_SPARSE_MATRIX_MARKET_H_
+#define SPNET_SPARSE_MATRIX_MARKET_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sparse/csr_matrix.h"
+
+namespace spnet {
+namespace sparse {
+
+/// Reads a Matrix Market (coordinate) file into CSR form.
+///
+/// Supports `matrix coordinate {real,integer,pattern} {general,symmetric}`.
+/// Pattern entries get value 1.0; symmetric files are expanded to both
+/// triangles. Indices in the file are 1-based per the MM specification.
+Result<CsrMatrix> ReadMatrixMarket(const std::string& path);
+
+/// Parses Matrix Market content from a string (same rules as the file
+/// reader); used by tests and by in-memory dataset pipelines.
+Result<CsrMatrix> ParseMatrixMarket(const std::string& content);
+
+/// Writes `m` as `matrix coordinate real general` with 1-based indices.
+Status WriteMatrixMarket(const CsrMatrix& m, const std::string& path);
+
+}  // namespace sparse
+}  // namespace spnet
+
+#endif  // SPNET_SPARSE_MATRIX_MARKET_H_

@@ -1,0 +1,82 @@
+#include "sparse/reference_spgemm.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace spnet {
+namespace sparse {
+
+Result<CsrMatrix> ReferenceSpGemm(const CsrMatrix& a, const CsrMatrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(
+        "dimension mismatch: a is " + std::to_string(a.rows()) + "x" +
+        std::to_string(a.cols()) + ", b is " + std::to_string(b.rows()) + "x" +
+        std::to_string(b.cols()));
+  }
+  const Index rows = a.rows();
+  const Index cols = b.cols();
+
+  std::vector<Value> acc(static_cast<size_t>(cols), 0.0);
+  std::vector<bool> touched(static_cast<size_t>(cols), false);
+  std::vector<Index> touched_cols;
+
+  std::vector<Offset> ptr(static_cast<size_t>(rows) + 1, 0);
+  std::vector<Index> out_idx;
+  std::vector<Value> out_val;
+
+  for (Index r = 0; r < rows; ++r) {
+    const SpanView arow = a.Row(r);
+    touched_cols.clear();
+    for (Offset k = 0; k < arow.size; ++k) {
+      const Index j = arow.indices[k];
+      const Value av = arow.values[k];
+      const SpanView brow = b.Row(j);
+      for (Offset l = 0; l < brow.size; ++l) {
+        const Index c = brow.indices[l];
+        if (!touched[static_cast<size_t>(c)]) {
+          touched[static_cast<size_t>(c)] = true;
+          touched_cols.push_back(c);
+        }
+        acc[static_cast<size_t>(c)] += av * brow.values[l];
+      }
+    }
+    std::sort(touched_cols.begin(), touched_cols.end());
+    for (Index c : touched_cols) {
+      out_idx.push_back(c);
+      out_val.push_back(acc[static_cast<size_t>(c)]);
+      acc[static_cast<size_t>(c)] = 0.0;
+      touched[static_cast<size_t>(c)] = false;
+    }
+    ptr[static_cast<size_t>(r) + 1] =
+        static_cast<Offset>(out_idx.size());
+  }
+  return CsrMatrix::FromParts(rows, cols, std::move(ptr), std::move(out_idx),
+                              std::move(out_val));
+}
+
+Result<int64_t> SpGemmExactOutputNnz(const CsrMatrix& a, const CsrMatrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch in symbolic spGEMM");
+  }
+  const Index cols = b.cols();
+  std::vector<Index> mark(static_cast<size_t>(cols), -1);
+  int64_t nnz = 0;
+  for (Index r = 0; r < a.rows(); ++r) {
+    const SpanView arow = a.Row(r);
+    for (Offset k = 0; k < arow.size; ++k) {
+      const SpanView brow = b.Row(arow.indices[k]);
+      for (Offset l = 0; l < brow.size; ++l) {
+        const Index c = brow.indices[l];
+        if (mark[static_cast<size_t>(c)] != r) {
+          mark[static_cast<size_t>(c)] = r;
+          ++nnz;
+        }
+      }
+    }
+  }
+  return nnz;
+}
+
+}  // namespace sparse
+}  // namespace spnet

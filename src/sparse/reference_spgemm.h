@@ -1,0 +1,23 @@
+#ifndef SPNET_SPARSE_REFERENCE_SPGEMM_H_
+#define SPNET_SPARSE_REFERENCE_SPGEMM_H_
+
+#include "common/status.h"
+#include "sparse/csr_matrix.h"
+
+namespace spnet {
+namespace sparse {
+
+/// Reference single-threaded Gustavson spGEMM (dense accumulator with a
+/// sparse touched-set reset). Output rows come out sorted. This is the
+/// correctness oracle every GPU-model algorithm in this repository is
+/// validated against; it is not performance-tuned.
+Result<CsrMatrix> ReferenceSpGemm(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Exact nnz(C) of A*B, computed with a symbolic Gustavson pass (no
+/// numeric work). Used by tests and by the precalculation benchmarks.
+Result<int64_t> SpGemmExactOutputNnz(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace sparse
+}  // namespace spnet
+
+#endif  // SPNET_SPARSE_REFERENCE_SPGEMM_H_

@@ -1,0 +1,86 @@
+#include "sparse/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace spnet {
+namespace sparse {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x424E5053;  // 'SPNB' little-endian
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  uint32_t magic;
+  uint32_t version;
+  int64_t rows;
+  int64_t cols;
+  int64_t nnz;
+};
+
+}  // namespace
+
+Status WriteBinary(const CsrMatrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  Header header{kMagic, kVersion, m.rows(), m.cols(), m.nnz()};
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(m.ptr().data()),
+            static_cast<std::streamsize>(m.ptr().size() * sizeof(Offset)));
+  out.write(reinterpret_cast<const char*>(m.indices().data()),
+            static_cast<std::streamsize>(m.indices().size() * sizeof(Index)));
+  out.write(reinterpret_cast<const char*>(m.values().data()),
+            static_cast<std::streamsize>(m.values().size() * sizeof(Value)));
+  if (!out) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Result<CsrMatrix> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  Header header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in) {
+    return Status::IoError("truncated header in " + path);
+  }
+  if (header.magic != kMagic) {
+    return Status::InvalidArgument(path + " is not an SPNB file");
+  }
+  if (header.version != kVersion) {
+    return Status::InvalidArgument("unsupported SPNB version " +
+                                   std::to_string(header.version));
+  }
+  if (header.rows < 0 || header.cols < 0 || header.nnz < 0) {
+    return Status::InvalidArgument("negative sizes in SPNB header");
+  }
+
+  std::vector<Offset> ptr(static_cast<size_t>(header.rows) + 1);
+  std::vector<Index> idx(static_cast<size_t>(header.nnz));
+  std::vector<Value> val(static_cast<size_t>(header.nnz));
+  in.read(reinterpret_cast<char*>(ptr.data()),
+          static_cast<std::streamsize>(ptr.size() * sizeof(Offset)));
+  in.read(reinterpret_cast<char*>(idx.data()),
+          static_cast<std::streamsize>(idx.size() * sizeof(Index)));
+  in.read(reinterpret_cast<char*>(val.data()),
+          static_cast<std::streamsize>(val.size() * sizeof(Value)));
+  if (!in) {
+    return Status::IoError("truncated body in " + path);
+  }
+  // FromParts re-validates all structural invariants, so corrupted files
+  // surface as InvalidArgument instead of undefined behavior.
+  return CsrMatrix::FromParts(static_cast<Index>(header.rows),
+                              static_cast<Index>(header.cols), std::move(ptr),
+                              std::move(idx), std::move(val));
+}
+
+}  // namespace sparse
+}  // namespace spnet

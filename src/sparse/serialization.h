@@ -1,0 +1,34 @@
+#ifndef SPNET_SPARSE_SERIALIZATION_H_
+#define SPNET_SPARSE_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sparse/csr_matrix.h"
+
+namespace spnet {
+namespace sparse {
+
+/// Binary CSR container ("SPNB"): a fixed little-endian header followed by
+/// the raw ptr/indices/values arrays. Loads are O(nnz) with no parsing —
+/// the format for caching generated datasets between benchmark runs.
+///
+/// Layout:
+///   magic   u32  'SPNB'
+///   version u32  1
+///   rows    i64
+///   cols    i64
+///   nnz     i64
+///   ptr     (rows + 1) x i64
+///   indices nnz x i32
+///   values  nnz x f64
+Status WriteBinary(const CsrMatrix& m, const std::string& path);
+
+/// Reads a matrix written by WriteBinary. Rejects bad magic/version,
+/// truncated files, and structurally invalid contents.
+Result<CsrMatrix> ReadBinary(const std::string& path);
+
+}  // namespace sparse
+}  // namespace spnet
+
+#endif  // SPNET_SPARSE_SERIALIZATION_H_

@@ -1,0 +1,24 @@
+#ifndef SPNET_SPARSE_TYPES_H_
+#define SPNET_SPARSE_TYPES_H_
+
+#include <cstdint>
+
+namespace spnet {
+namespace sparse {
+
+/// Row/column index. 32 bits covers every dataset in the paper
+/// (largest dimension: 1.1M for youtube).
+using Index = int32_t;
+
+/// Offset into the nonzero arrays. 64 bits: intermediate products of the
+/// skewed networks exceed 2^31 (e.g. loc-gowalla nnz(C-hat) = 456M at full
+/// scale).
+using Offset = int64_t;
+
+/// Numeric value of a nonzero. Edge weights in the paper's workloads.
+using Value = double;
+
+}  // namespace sparse
+}  // namespace spnet
+
+#endif  // SPNET_SPARSE_TYPES_H_

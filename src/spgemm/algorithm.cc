@@ -1,0 +1,39 @@
+#include "spgemm/algorithm.h"
+
+#include "gpusim/kernel_desc.h"
+
+namespace spnet {
+namespace spgemm {
+
+Result<SpGemmMeasurement> Measure(const SpGemmAlgorithm& algorithm,
+                                  const sparse::CsrMatrix& a,
+                                  const sparse::CsrMatrix& b,
+                                  const gpusim::DeviceSpec& device) {
+  SPNET_ASSIGN_OR_RETURN(SpGemmPlan plan, algorithm.Plan(a, b, device));
+  gpusim::Simulator sim(device);
+
+  SpGemmMeasurement m;
+  m.stats.sm_busy_cycles.assign(static_cast<size_t>(device.num_sms), 0.0);
+  m.expansion.sm_busy_cycles.assign(static_cast<size_t>(device.num_sms), 0.0);
+  m.merge.sm_busy_cycles.assign(static_cast<size_t>(device.num_sms), 0.0);
+  for (const gpusim::KernelDesc& k : plan.kernels) {
+    SPNET_ASSIGN_OR_RETURN(gpusim::KernelStats s, sim.RunKernel(k));
+    m.stats.Accumulate(s);
+    if (k.phase == gpusim::Phase::kExpansion) {
+      m.expansion.Accumulate(s);
+    } else if (k.phase == gpusim::Phase::kMerge) {
+      m.merge.Accumulate(s);
+    }
+  }
+  m.stats.seconds = device.CyclesToSeconds(m.stats.cycles);
+  m.expansion.seconds = device.CyclesToSeconds(m.expansion.cycles);
+  m.merge.seconds = device.CyclesToSeconds(m.merge.cycles);
+  m.host_seconds = plan.host_seconds;
+  m.total_seconds = m.stats.seconds + plan.host_seconds;
+  m.flops = plan.flops;
+  m.output_nnz = plan.output_nnz;
+  return m;
+}
+
+}  // namespace spgemm
+}  // namespace spnet

@@ -1,0 +1,63 @@
+#ifndef SPNET_SPGEMM_ALGORITHM_H_
+#define SPNET_SPGEMM_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/simulator.h"
+#include "sparse/csr_matrix.h"
+#include "spgemm/plan.h"
+
+namespace spnet {
+namespace spgemm {
+
+/// One spGEMM implementation under evaluation: it can (1) really compute
+/// C = A*B on the host, structured the way the algorithm structures the
+/// work (expansion + merge), and (2) emit the workload plan its GPU
+/// execution would dispatch, for the SIMT timing model.
+class SpGemmAlgorithm {
+ public:
+  virtual ~SpGemmAlgorithm() = default;
+
+  /// Short identifier used in benchmark tables ("row-product", ...).
+  virtual std::string name() const = 0;
+
+  /// Builds the simulation plan for C = A*B on `device`.
+  virtual Result<SpGemmPlan> Plan(const sparse::CsrMatrix& a,
+                                  const sparse::CsrMatrix& b,
+                                  const gpusim::DeviceSpec& device) const = 0;
+
+  /// Functionally computes C = A*B (host execution of the same algorithm
+  /// structure); validated against ReferenceSpGemm in the test suite.
+  virtual Result<sparse::CsrMatrix> Compute(const sparse::CsrMatrix& a,
+                                            const sparse::CsrMatrix& b) const = 0;
+};
+
+/// Simulates `algorithm` on `device` and returns the timing profile.
+Result<SpGemmMeasurement> Measure(const SpGemmAlgorithm& algorithm,
+                                  const sparse::CsrMatrix& a,
+                                  const sparse::CsrMatrix& b,
+                                  const gpusim::DeviceSpec& device);
+
+/// The named baselines individually. (core/suite.h assembles the full
+/// Figure 8/9 comparison including the Block Reorganizer.)
+std::unique_ptr<SpGemmAlgorithm> MakeRowProduct();
+std::unique_ptr<SpGemmAlgorithm> MakeOuterProduct();
+std::unique_ptr<SpGemmAlgorithm> MakeCusparseLike();
+std::unique_ptr<SpGemmAlgorithm> MakeCuspLike();
+std::unique_ptr<SpGemmAlgorithm> MakeBhsparseLike();
+std::unique_ptr<SpGemmAlgorithm> MakeMklLike();
+
+/// Extension comparisons from the paper's related-work discussion (not
+/// part of the Figure 8 suite): AC-spGEMM's chunk-balanced row product
+/// (Winter et al., PPoPP'19) and hash-based fused Gustavson (nsparse).
+std::unique_ptr<SpGemmAlgorithm> MakeAcSpGemmLike();
+std::unique_ptr<SpGemmAlgorithm> MakeNsparseLike();
+
+}  // namespace spgemm
+}  // namespace spnet
+
+#endif  // SPNET_SPGEMM_ALGORITHM_H_

@@ -1,0 +1,153 @@
+#include "spgemm/functional.h"
+
+#include <string>
+#include <vector>
+
+#include "sparse/stats.h"
+
+namespace spnet {
+namespace spgemm {
+
+using sparse::CscMatrix;
+using sparse::CsrMatrix;
+using sparse::Index;
+using sparse::Offset;
+using sparse::SpanView;
+using sparse::Value;
+
+namespace {
+
+Status CheckDims(const CsrMatrix& a, const CsrMatrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(
+        "dimension mismatch: " + std::to_string(a.cols()) + " vs " +
+        std::to_string(b.rows()));
+  }
+  return Status::Ok();
+}
+
+/// Merges an intermediate element range [begin, end) of (col, val) pairs
+/// into the output arrays using a dense accumulator; emits in first-touch
+/// order (unordered CSR).
+void MergeRange(const Index* cols, const Value* vals, Offset count,
+                std::vector<Value>* acc, std::vector<bool>* touched,
+                std::vector<Index>* scratch, std::vector<Index>* out_idx,
+                std::vector<Value>* out_val) {
+  scratch->clear();
+  for (Offset k = 0; k < count; ++k) {
+    const Index c = cols[k];
+    if (!(*touched)[static_cast<size_t>(c)]) {
+      (*touched)[static_cast<size_t>(c)] = true;
+      scratch->push_back(c);
+    }
+    (*acc)[static_cast<size_t>(c)] += vals[k];
+  }
+  for (Index c : *scratch) {
+    out_idx->push_back(c);
+    out_val->push_back((*acc)[static_cast<size_t>(c)]);
+    (*acc)[static_cast<size_t>(c)] = 0.0;
+    (*touched)[static_cast<size_t>(c)] = false;
+  }
+}
+
+}  // namespace
+
+Result<CsrMatrix> RowProductExpandMerge(const CsrMatrix& a,
+                                        const CsrMatrix& b) {
+  SPNET_RETURN_IF_ERROR(CheckDims(a, b));
+  const Index rows = a.rows();
+  const Index cols = b.cols();
+
+  std::vector<Value> acc(static_cast<size_t>(cols), 0.0);
+  std::vector<bool> touched(static_cast<size_t>(cols), false);
+  std::vector<Index> scratch;
+
+  std::vector<Offset> ptr(static_cast<size_t>(rows) + 1, 0);
+  std::vector<Index> out_idx;
+  std::vector<Value> out_val;
+  std::vector<Index> exp_cols;
+  std::vector<Value> exp_vals;
+
+  for (Index r = 0; r < rows; ++r) {
+    // Expansion: materialize this row's partial products.
+    exp_cols.clear();
+    exp_vals.clear();
+    const SpanView arow = a.Row(r);
+    for (Offset k = 0; k < arow.size; ++k) {
+      const SpanView brow = b.Row(arow.indices[k]);
+      const Value av = arow.values[k];
+      for (Offset l = 0; l < brow.size; ++l) {
+        exp_cols.push_back(brow.indices[l]);
+        exp_vals.push_back(av * brow.values[l]);
+      }
+    }
+    // Merge: row-wise dense accumulation.
+    MergeRange(exp_cols.data(), exp_vals.data(),
+               static_cast<Offset>(exp_cols.size()), &acc, &touched, &scratch,
+               &out_idx, &out_val);
+    ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(out_idx.size());
+  }
+  return CsrMatrix::FromParts(rows, cols, std::move(ptr), std::move(out_idx),
+                              std::move(out_val));
+}
+
+Result<CsrMatrix> OuterProductExpandMerge(const CsrMatrix& a,
+                                          const CsrMatrix& b) {
+  SPNET_RETURN_IF_ERROR(CheckDims(a, b));
+  const Index rows = a.rows();
+  const Index cols = b.cols();
+
+  // Row-wise C-hat sizes drive the relocation cursors (the paper
+  // precalculates exactly this).
+  const std::vector<int64_t> row_chat = sparse::SpGemmRowFlops(a, b);
+  std::vector<Offset> chat_ptr(static_cast<size_t>(rows) + 1, 0);
+  for (Index r = 0; r < rows; ++r) {
+    chat_ptr[static_cast<size_t>(r) + 1] =
+        chat_ptr[static_cast<size_t>(r)] + row_chat[static_cast<size_t>(r)];
+  }
+  const Offset total = chat_ptr[static_cast<size_t>(rows)];
+
+  std::vector<Index> chat_cols(static_cast<size_t>(total));
+  std::vector<Value> chat_vals(static_cast<size_t>(total));
+  std::vector<Offset> cursor(chat_ptr.begin(), chat_ptr.end() - 1);
+
+  // Expansion: pair i = (column i of A) x (row i of B); every product of
+  // the pair lands in the C-hat region of its output row.
+  const CscMatrix a_csc = CscMatrix::FromCsr(a);
+  for (Index i = 0; i < a.cols(); ++i) {
+    const SpanView acol = a_csc.Col(i);
+    if (acol.size == 0 || i >= b.rows()) continue;
+    const SpanView brow = b.Row(i);
+    if (brow.size == 0) continue;
+    for (Offset k = 0; k < acol.size; ++k) {
+      const Index r = acol.indices[k];
+      const Value av = acol.values[k];
+      Offset& cur = cursor[static_cast<size_t>(r)];
+      for (Offset l = 0; l < brow.size; ++l) {
+        chat_cols[static_cast<size_t>(cur)] = brow.indices[l];
+        chat_vals[static_cast<size_t>(cur)] = av * brow.values[l];
+        ++cur;
+      }
+    }
+  }
+
+  // Merge: row-wise dense accumulation over the relocated intermediate.
+  std::vector<Value> acc(static_cast<size_t>(cols), 0.0);
+  std::vector<bool> touched(static_cast<size_t>(cols), false);
+  std::vector<Index> scratch;
+  std::vector<Offset> ptr(static_cast<size_t>(rows) + 1, 0);
+  std::vector<Index> out_idx;
+  std::vector<Value> out_val;
+  for (Index r = 0; r < rows; ++r) {
+    const Offset begin = chat_ptr[static_cast<size_t>(r)];
+    const Offset count = chat_ptr[static_cast<size_t>(r) + 1] - begin;
+    MergeRange(chat_cols.data() + begin, chat_vals.data() + begin, count, &acc,
+               &touched, &scratch, &out_idx, &out_val);
+    ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(out_idx.size());
+  }
+  return CsrMatrix::FromParts(rows, cols, std::move(ptr), std::move(out_idx),
+                              std::move(out_val));
+}
+
+}  // namespace spgemm
+}  // namespace spnet

@@ -1,0 +1,27 @@
+#ifndef SPNET_SPGEMM_FUNCTIONAL_H_
+#define SPNET_SPGEMM_FUNCTIONAL_H_
+
+#include "common/status.h"
+#include "sparse/csr_matrix.h"
+
+namespace spnet {
+namespace spgemm {
+
+/// Host execution of the row-product scheme: each output row expands its
+/// partial products into a row buffer, then merges them with a dense
+/// accumulator (Gustavson). Produces unordered CSR rows, like the paper's
+/// kernels.
+Result<sparse::CsrMatrix> RowProductExpandMerge(const sparse::CsrMatrix& a,
+                                                const sparse::CsrMatrix& b);
+
+/// Host execution of the outer-product scheme: the whole intermediate
+/// matrix C-hat is materialized pair by pair (column i of A times row i of
+/// B), relocated row-major via per-row cursors, then merged row-wise.
+/// Materializes flops(A,B) elements; intended for tests and moderate sizes.
+Result<sparse::CsrMatrix> OuterProductExpandMerge(const sparse::CsrMatrix& a,
+                                                  const sparse::CsrMatrix& b);
+
+}  // namespace spgemm
+}  // namespace spnet
+
+#endif  // SPNET_SPGEMM_FUNCTIONAL_H_

@@ -1,0 +1,88 @@
+#ifndef SPNET_SPGEMM_WORKLOAD_MODEL_H_
+#define SPNET_SPGEMM_WORKLOAD_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/kernel_desc.h"
+#include "sparse/csr_matrix.h"
+
+namespace spnet {
+namespace spgemm {
+
+/// Precomputed workload view of one A*B multiplication, shared by every
+/// algorithm's plan builder. All vectors are indexed by the inner dimension
+/// (columns of A == rows of B) or by output row as noted.
+struct Workload {
+  /// nnz of each column of A (length a.cols()).
+  std::vector<int64_t> a_col_nnz;
+  /// nnz of each row of B (length b.rows()).
+  std::vector<int64_t> b_row_nnz;
+  /// Outer-product pair work: a_col_nnz[i] * b_row_nnz[i].
+  std::vector<int64_t> pair_work;
+  /// Intermediate elements landing in each output row (length a.rows());
+  /// equals the row-product expansion work of that row.
+  std::vector<int64_t> row_chat;
+  /// Estimated nnz of each output row after merging.
+  std::vector<int64_t> row_c_est;
+  int64_t flops = 0;       ///< total multiplies == nnz(C-hat)
+  int64_t output_nnz = 0;  ///< sum of row_c_est
+};
+
+/// Builds the workload view. O(nnz(A) + dims). The output-row nnz uses the
+/// standard hashing estimator unique ~= cols * (1 - exp(-flops_r / cols)),
+/// which is exact in expectation for independently placed products; the
+/// estimate only shapes merge timing, never functional results.
+Workload BuildWorkload(const sparse::CsrMatrix& a, const sparse::CsrMatrix& b);
+
+/// Options controlling merge-kernel construction; B-Limiting raises
+/// `extra_shared_mem_bytes` for the long-row kernel.
+struct MergeOptions {
+  int block_size = 256;
+  /// Base shared memory per merge block (accumulator staging tile).
+  int64_t base_shared_mem_bytes = 4096;
+  /// Rows whose C-hat population exceeds this get the "limited" kernel;
+  /// <= 0 disables the split (single kernel, no limiting).
+  int64_t limit_row_threshold = 0;
+  /// Extra shared memory allocated to the limited kernel to reduce
+  /// residency (the paper's limiting factor; default 4 * 6144).
+  int64_t extra_shared_mem_bytes = 0;
+};
+
+/// Builds the merge-phase kernels from per-row intermediate populations.
+/// Returns one kernel when limiting is disabled, otherwise a non-limited
+/// kernel plus a limited kernel for long rows.
+std::vector<gpusim::KernelDesc> BuildMergeKernels(const Workload& workload,
+                                                  const MergeOptions& options);
+
+/// Describes one outer-product expansion block (one column/row pair or a
+/// fragment of one after B-Splitting).
+struct PairBlockParams {
+  int64_t col_nnz = 0;  ///< per-thread loop length (column of A side)
+  int64_t row_nnz = 0;  ///< effective threads (row of B side)
+  int block_size = 256;
+  /// Bytes of this block's reads expected L2-hot because sibling blocks
+  /// share them (split fragments re-reading the same row vector).
+  int64_t shared_read_bytes = 0;
+};
+
+/// Builds the ThreadBlockDesc of one outer-product pair block.
+gpusim::ThreadBlockDesc MakePairBlock(const PairBlockParams& params);
+
+/// Estimated host-preprocessing seconds for a given amount of copied
+/// elements and scanned pairs (calibrated constants documented in the .cc).
+double HostPreprocessSeconds(int64_t scanned_pairs, int64_t copied_elements);
+
+/// Appends perfectly balanced streaming blocks (256 threads, full warps)
+/// that collectively read and write `total_elements * bytes_per_element`,
+/// `ops_per_element` ops each — the shape of scan/sort/precalculation
+/// passes.
+void AppendBalancedStreamingBlocks(gpusim::KernelDesc* kernel,
+                                   int64_t total_elements,
+                                   int64_t bytes_per_element,
+                                   double ops_per_element);
+
+}  // namespace spgemm
+}  // namespace spnet
+
+#endif  // SPNET_SPGEMM_WORKLOAD_MODEL_H_

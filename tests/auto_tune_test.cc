@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/auto_tune.h"
+#include "core/workload_classifier.h"
+#include "spgemm/workload_model.h"
+#include "tests/test_util.h"
+
+namespace spnet {
+namespace core {
+namespace {
+
+using sparse::CsrMatrix;
+
+TEST(AutoTuneTest, SkewedInputGetsBoundedDominatorCount) {
+  const CsrMatrix a = testing_util::SkewedMatrix(800, 600, 51);
+  const auto device = gpusim::DeviceSpec::TitanXp();
+  auto config = AutoTune(a, a, device);
+  ASSERT_TRUE(config.ok());
+
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  const Classification c = Classify(w, *config);
+  // The target is ~4 blocks per SM; allow generous slack for ties.
+  EXPECT_GT(c.dominators.size(), 0u);
+  EXPECT_LE(c.dominators.size(),
+            static_cast<size_t>(12 * device.num_sms));
+}
+
+TEST(AutoTuneTest, UniformInputGetsNoDominators) {
+  const CsrMatrix a = testing_util::RandomMatrix(500, 500, 0.02, 53);
+  auto config = AutoTune(a, a, gpusim::DeviceSpec::TitanXp());
+  ASSERT_TRUE(config.ok());
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  const Classification c = Classify(w, *config);
+  // Uniform work: the threshold lands at/above the common value, so the
+  // dominator bin stays small.
+  EXPECT_LT(static_cast<double>(c.dominators.size()),
+            0.05 * static_cast<double>(w.pair_work.size()));
+}
+
+TEST(AutoTuneTest, LimitedRowsNearRequestedFraction) {
+  const CsrMatrix a = testing_util::SkewedMatrix(1000, 500, 55);
+  AutoTuneOptions options;
+  options.limited_row_fraction = 0.05;
+  auto config = AutoTune(a, a, gpusim::DeviceSpec::TitanXp(), options);
+  ASSERT_TRUE(config.ok());
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  const Classification c = Classify(w, *config);
+  int64_t nonzero_rows = 0;
+  for (int64_t v : w.row_chat) {
+    if (v > 0) ++nonzero_rows;
+  }
+  const double fraction = static_cast<double>(c.limited_rows.size()) /
+                          static_cast<double>(nonzero_rows);
+  EXPECT_GT(fraction, 0.0);
+  EXPECT_LT(fraction, 0.25);
+}
+
+TEST(AutoTuneTest, RespectsClamps) {
+  const CsrMatrix a = testing_util::SkewedMatrix(300, 200, 57);
+  AutoTuneOptions options;
+  options.min_alpha = 10.0;
+  options.max_alpha = 12.0;
+  options.min_beta = 3.0;
+  options.max_beta = 4.0;
+  auto config = AutoTune(a, a, gpusim::DeviceSpec::TitanXp(), options);
+  ASSERT_TRUE(config.ok());
+  EXPECT_GE(config->alpha, 10.0);
+  EXPECT_LE(config->alpha, 12.0);
+  EXPECT_GE(config->beta, 3.0);
+  EXPECT_LE(config->beta, 4.0);
+}
+
+TEST(AutoTuneTest, EmptyMatrixYieldsDefaults) {
+  sparse::CooMatrix coo(16, 16);
+  auto a = CsrMatrix::FromCoo(coo);
+  auto config = AutoTune(*a, *a, gpusim::DeviceSpec::TitanXp());
+  ASSERT_TRUE(config.ok());
+  EXPECT_DOUBLE_EQ(config->alpha, ReorganizerConfig{}.alpha);
+}
+
+TEST(AutoTuneTest, DimensionMismatchRejected) {
+  const CsrMatrix a = testing_util::RandomMatrix(5, 6, 0.5, 1);
+  const CsrMatrix b = testing_util::RandomMatrix(5, 6, 0.5, 2);
+  EXPECT_FALSE(AutoTune(a, b, gpusim::DeviceSpec::TitanXp()).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace spnet

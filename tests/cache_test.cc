@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+#include "datasets/cache.h"
+#include "sparse/csr_matrix.h"
+
+namespace spnet {
+namespace datasets {
+namespace {
+
+RealWorldSpec TinySpec() {
+  auto spec = FindDataset("as-caida");
+  SPNET_CHECK(spec.ok());
+  return *spec;
+}
+
+TEST(CacheTest, BypassedWhenDirEmpty) {
+  auto direct = Materialize(TinySpec(), 0.05, 7);
+  auto cached = MaterializeCached(TinySpec(), 0.05, "", 7);
+  ASSERT_TRUE(direct.ok() && cached.ok());
+  EXPECT_TRUE(sparse::CsrApproxEqual(*direct, *cached, 0.0));
+}
+
+TEST(CacheTest, SecondLoadComesFromDisk) {
+  const std::string dir = ::testing::TempDir();
+  const RealWorldSpec spec = TinySpec();
+  const std::string path = CachePath(spec, 0.05, dir, 9);
+  std::remove(path.c_str());
+
+  auto first = MaterializeCached(spec, 0.05, dir, 9);
+  ASSERT_TRUE(first.ok());
+  // The entry now exists on disk.
+  std::ifstream probe(path, std::ios::binary);
+  EXPECT_TRUE(probe.good());
+  probe.close();
+
+  auto second = MaterializeCached(spec, 0.05, dir, 9);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(sparse::CsrApproxEqual(*first, *second, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(CacheTest, DistinctParametersDistinctEntries) {
+  const std::string dir = "/tmp";
+  const RealWorldSpec spec = TinySpec();
+  EXPECT_NE(CachePath(spec, 0.05, dir, 1), CachePath(spec, 0.05, dir, 2));
+  EXPECT_NE(CachePath(spec, 0.05, dir, 1), CachePath(spec, 0.10, dir, 1));
+}
+
+TEST(CacheTest, CorruptedEntryIsRegenerated) {
+  const std::string dir = ::testing::TempDir();
+  const RealWorldSpec spec = TinySpec();
+  const std::string path = CachePath(spec, 0.05, dir, 11);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  auto m = MaterializeCached(spec, 0.05, dir, 11);
+  ASSERT_TRUE(m.ok());
+  auto direct = Materialize(spec, 0.05, 11);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(sparse::CsrApproxEqual(*m, *direct, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(CacheTest, UnwritableDirStillReturnsMatrix) {
+  auto m = MaterializeCached(TinySpec(), 0.05, "/nonexistent-dir-xyz", 13);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->nnz(), 0);
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace spnet

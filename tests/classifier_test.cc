@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/workload_classifier.h"
+#include "spgemm/workload_model.h"
+#include "tests/test_util.h"
+
+namespace spnet {
+namespace core {
+namespace {
+
+using sparse::CsrMatrix;
+
+TEST(ClassifierTest, EveryNonzeroPairInExactlyOneBin) {
+  const CsrMatrix a = testing_util::SkewedMatrix(500, 400, 31);
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  const Classification c = Classify(w, ReorganizerConfig{});
+
+  int64_t nonzero_pairs = 0;
+  for (int64_t work : w.pair_work) {
+    if (work > 0) ++nonzero_pairs;
+  }
+  EXPECT_EQ(static_cast<int64_t>(c.dominators.size() + c.low_performers.size() +
+                                 c.normals.size()),
+            nonzero_pairs);
+
+  std::vector<bool> seen(w.pair_work.size(), false);
+  auto mark = [&](const std::vector<sparse::Index>& bin) {
+    for (sparse::Index p : bin) {
+      EXPECT_FALSE(seen[static_cast<size_t>(p)]) << "pair " << p << " twice";
+      seen[static_cast<size_t>(p)] = true;
+      EXPECT_GT(w.pair_work[static_cast<size_t>(p)], 0);
+    }
+  };
+  mark(c.dominators);
+  mark(c.low_performers);
+  mark(c.normals);
+}
+
+TEST(ClassifierTest, DominatorsExceedThreshold) {
+  const CsrMatrix a = testing_util::SkewedMatrix(500, 400, 33);
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  const Classification c = Classify(w, ReorganizerConfig{});
+  for (sparse::Index p : c.dominators) {
+    EXPECT_GT(w.pair_work[static_cast<size_t>(p)], c.dominator_threshold);
+  }
+  for (sparse::Index p : c.normals) {
+    EXPECT_LE(w.pair_work[static_cast<size_t>(p)], c.dominator_threshold);
+  }
+}
+
+TEST(ClassifierTest, LowPerformersHaveFewEffectiveThreads) {
+  const CsrMatrix a = testing_util::SkewedMatrix(500, 400, 35);
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  const Classification c = Classify(w, ReorganizerConfig{});
+  for (sparse::Index p : c.low_performers) {
+    EXPECT_LT(w.b_row_nnz[static_cast<size_t>(p)], 32);
+  }
+  for (sparse::Index p : c.normals) {
+    EXPECT_GE(w.b_row_nnz[static_cast<size_t>(p)], 32);
+  }
+}
+
+TEST(ClassifierTest, HigherAlphaSelectsFewerDominators) {
+  const CsrMatrix a = testing_util::SkewedMatrix(600, 500, 37);
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  ReorganizerConfig lo;
+  lo.alpha = 4.0;
+  ReorganizerConfig hi;
+  hi.alpha = 128.0;
+  const Classification cl = Classify(w, lo);
+  const Classification ch = Classify(w, hi);
+  EXPECT_GE(cl.dominators.size(), ch.dominators.size());
+  EXPECT_GT(ch.dominator_threshold, cl.dominator_threshold);
+}
+
+TEST(ClassifierTest, HigherBetaLimitsFewerRows) {
+  const CsrMatrix a = testing_util::SkewedMatrix(600, 500, 39);
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  ReorganizerConfig lo;
+  lo.beta = 2.0;
+  ReorganizerConfig hi;
+  hi.beta = 50.0;
+  EXPECT_GE(Classify(w, lo).limited_rows.size(),
+            Classify(w, hi).limited_rows.size());
+}
+
+TEST(ClassifierTest, LimitedRowsExceedThreshold) {
+  const CsrMatrix a = testing_util::SkewedMatrix(500, 400, 41);
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  const Classification c = Classify(w, ReorganizerConfig{});
+  for (sparse::Index r : c.limited_rows) {
+    EXPECT_GT(w.row_chat[static_cast<size_t>(r)], c.limit_row_threshold);
+  }
+}
+
+TEST(ClassifierTest, RegularMatrixHasNoDominators) {
+  // Uniform 20-nnz rows: every pair does the same work, none dominates.
+  const CsrMatrix a = testing_util::RandomMatrix(400, 400, 0.05, 43);
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  const Classification c = Classify(w, ReorganizerConfig{});
+  EXPECT_TRUE(c.dominators.empty());
+  EXPECT_TRUE(c.limited_rows.empty());
+}
+
+TEST(ClassifierTest, EmptyMatrix) {
+  sparse::CooMatrix coo(10, 10);
+  auto a = CsrMatrix::FromCoo(coo);
+  ASSERT_TRUE(a.ok());
+  const spgemm::Workload w = spgemm::BuildWorkload(*a, *a);
+  const Classification c = Classify(w, ReorganizerConfig{});
+  EXPECT_TRUE(c.dominators.empty());
+  EXPECT_TRUE(c.low_performers.empty());
+  EXPECT_TRUE(c.normals.empty());
+  EXPECT_TRUE(c.limited_rows.empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace spnet

@@ -1,0 +1,95 @@
+// Randomized cross-algorithm agreement sweep: for a grid of generator
+// families and seeds, every algorithm in the extended suite must produce
+// exactly the same product as the reference Gustavson implementation —
+// on C = A^2 and on rectangular C = A*B with mismatched shapes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/suite.h"
+#include "datasets/generators.h"
+#include "sparse/reference_spgemm.h"
+#include "spgemm/algorithm.h"
+#include "tests/test_util.h"
+
+namespace spnet {
+namespace {
+
+using sparse::CsrMatrix;
+
+CsrMatrix MakeRandomish(int family, uint64_t seed) {
+  switch (family % 4) {
+    case 0: {
+      datasets::PowerLawParams p;
+      p.rows = p.cols = 150 + static_cast<sparse::Index>(seed % 60);
+      p.nnz = 6 * p.rows;
+      p.row_skew = 0.4 + 0.15 * static_cast<double>(seed % 5);
+      p.col_skew = p.row_skew;
+      p.seed = seed;
+      auto m = datasets::GeneratePowerLaw(p);
+      SPNET_CHECK(m.ok());
+      return std::move(m).value();
+    }
+    case 1: {
+      datasets::QuasiRegularParams p;
+      p.n = 170 + static_cast<sparse::Index>(seed % 40);
+      p.nnz = 10 * p.n;
+      p.band_frac = 0.05;
+      p.seed = seed;
+      auto m = datasets::GenerateQuasiRegular(p);
+      SPNET_CHECK(m.ok());
+      return std::move(m).value();
+    }
+    case 2: {
+      datasets::RmatParams p;
+      p.scale = 8;
+      p.edge_count = 900 + static_cast<int64_t>(seed % 500);
+      p.seed = seed;
+      auto m = datasets::GenerateRmat(p);
+      SPNET_CHECK(m.ok());
+      return std::move(m).value();
+    }
+    default:
+      return testing_util::RandomMatrix(
+          130 + static_cast<sparse::Index>(seed % 50), 180, 0.04, seed);
+  }
+}
+
+using FuzzParam = std::tuple<int, int>;  // (family, seed)
+
+const char* const kFamilies[] = {"powerlaw", "banded", "rmat", "uniform"};
+
+class FuzzAgreementTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(FuzzAgreementTest, AllAlgorithmsAgreeWithReference) {
+  const auto [family, seed] = GetParam();
+  const CsrMatrix a = MakeRandomish(family, 100 + static_cast<uint64_t>(seed));
+  // Square product when shapes allow; otherwise pair with a compatible
+  // random right-hand side.
+  const CsrMatrix b =
+      a.rows() == a.cols()
+          ? a
+          : testing_util::RandomMatrix(a.cols(), 120, 0.05,
+                                       200 + static_cast<uint64_t>(seed));
+  auto expected = sparse::ReferenceSpGemm(a, b);
+  ASSERT_TRUE(expected.ok());
+  for (const auto& alg : core::MakeExtendedSuite()) {
+    auto got = alg->Compute(a, b);
+    ASSERT_TRUE(got.ok()) << alg->name();
+    EXPECT_TRUE(CsrApproxEqual(*expected, *got, 1e-9))
+        << alg->name() << " family " << family << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTimesSeeds, FuzzAgreementTest,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 5)),
+    [](const ::testing::TestParamInfo<FuzzParam>& info) {
+      return std::string(kFamilies[std::get<0>(info.param)]) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace spnet

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math_util.h"
+#include "core/b_gathering.h"
+#include "core/workload_classifier.h"
+#include "spgemm/workload_model.h"
+#include "tests/test_util.h"
+
+namespace spnet {
+namespace core {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::Index;
+
+struct Fixture {
+  CsrMatrix a;
+  spgemm::Workload w;
+  Classification c;
+
+  explicit Fixture(uint64_t seed)
+      : a(testing_util::SkewedMatrix(800, 300, seed)),
+        w(spgemm::BuildWorkload(a, a)),
+        c(Classify(w, ReorganizerConfig{})) {}
+};
+
+TEST(GatheringTest, EveryLowPerformerAccountedOnce) {
+  Fixture f(71);
+  ASSERT_FALSE(f.c.low_performers.empty());
+  const GatherPlan plan =
+      BuildGatherPlan(f.w, f.c.low_performers, ReorganizerConfig{});
+  std::set<Index> seen;
+  for (const CombinedBlock& b : plan.blocks) {
+    for (Index p : b.pairs) {
+      EXPECT_TRUE(seen.insert(p).second) << "pair " << p << " twice";
+    }
+  }
+  for (Index p : plan.ungathered) {
+    EXPECT_TRUE(seen.insert(p).second) << "pair " << p << " twice";
+  }
+  EXPECT_EQ(seen.size(), f.c.low_performers.size());
+  EXPECT_EQ(plan.gathered_pairs,
+            static_cast<int64_t>(f.c.low_performers.size()) -
+                static_cast<int64_t>(plan.ungathered.size()));
+}
+
+TEST(GatheringTest, QuotaCoversEffectiveThreads) {
+  Fixture f(73);
+  const GatherPlan plan =
+      BuildGatherPlan(f.w, f.c.low_performers, ReorganizerConfig{});
+  for (const CombinedBlock& b : plan.blocks) {
+    EXPECT_TRUE(IsPow2(b.micro_threads));
+    for (Index p : b.pairs) {
+      const int64_t eff = f.w.b_row_nnz[static_cast<size_t>(p)];
+      EXPECT_LE(eff, b.micro_threads);
+      EXPECT_GT(2 * eff, b.micro_threads)
+          << "pair " << p << " belongs in a smaller bin";
+    }
+  }
+}
+
+TEST(GatheringTest, BlocksRespectCapacity) {
+  Fixture f(75);
+  ReorganizerConfig config;
+  const GatherPlan plan = BuildGatherPlan(f.w, f.c.low_performers, config);
+  for (const CombinedBlock& b : plan.blocks) {
+    EXPECT_LE(static_cast<int>(b.pairs.size()) * b.micro_threads,
+              config.block_size);
+    EXPECT_GE(b.pairs.size(), 1u);
+  }
+}
+
+TEST(GatheringTest, MembersSortedByWorkWithinBlock) {
+  Fixture f(77);
+  const GatherPlan plan =
+      BuildGatherPlan(f.w, f.c.low_performers, ReorganizerConfig{});
+  for (const CombinedBlock& b : plan.blocks) {
+    for (size_t i = 1; i < b.pairs.size(); ++i) {
+      EXPECT_GE(f.w.a_col_nnz[static_cast<size_t>(b.pairs[i - 1])],
+                f.w.a_col_nnz[static_cast<size_t>(b.pairs[i])]);
+    }
+  }
+}
+
+TEST(GatheringTest, SingletonBinsStayUngathered) {
+  // One pair with 2 effective threads: nothing to combine with.
+  sparse::CooMatrix coo(64, 64);
+  coo.Add(0, 1, 1.0);  // column 1 of A gets one entry
+  coo.Add(1, 2, 1.0);
+  coo.Add(1, 3, 1.0);  // row 1 of B has 2 entries -> pair 1 eff=2
+  auto a = CsrMatrix::FromCoo(coo);
+  ASSERT_TRUE(a.ok());
+  const spgemm::Workload w = spgemm::BuildWorkload(*a, *a);
+  const Classification c = Classify(w, ReorganizerConfig{});
+  const GatherPlan plan =
+      BuildGatherPlan(w, c.low_performers, ReorganizerConfig{});
+  EXPECT_TRUE(plan.blocks.empty());
+  EXPECT_EQ(plan.ungathered.size(), c.low_performers.size());
+}
+
+TEST(GatheringTest, EmptyInputYieldsEmptyPlan) {
+  Fixture f(79);
+  const GatherPlan plan = BuildGatherPlan(f.w, {}, ReorganizerConfig{});
+  EXPECT_TRUE(plan.blocks.empty());
+  EXPECT_TRUE(plan.ungathered.empty());
+  EXPECT_EQ(plan.gathered_pairs, 0);
+}
+
+TEST(GatheringTest, SmallerBlockSizePacksLess) {
+  Fixture f(81);
+  ReorganizerConfig big;
+  big.block_size = 256;
+  ReorganizerConfig small;
+  small.block_size = 64;
+  const GatherPlan pb = BuildGatherPlan(f.w, f.c.low_performers, big);
+  const GatherPlan ps = BuildGatherPlan(f.w, f.c.low_performers, small);
+  if (pb.gathered_pairs > 0 && ps.gathered_pairs > 0) {
+    EXPECT_GE(ps.blocks.size(), pb.blocks.size());
+  }
+  for (const CombinedBlock& b : ps.blocks) {
+    EXPECT_LE(static_cast<int>(b.pairs.size()) * b.micro_threads, 64);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace spnet

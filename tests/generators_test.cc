@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "sparse/stats.h"
+
+namespace spnet {
+namespace datasets {
+namespace {
+
+using sparse::CsrMatrix;
+
+TEST(RmatTest, ProducesRequestedShape) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_count = 4096;
+  auto m = GenerateRmat(p);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->rows(), 1024);
+  EXPECT_EQ(m->cols(), 1024);
+  // redraw_duplicates keeps nnz close to the request.
+  EXPECT_GE(m->nnz(), p.edge_count * 9 / 10);
+  EXPECT_LE(m->nnz(), p.edge_count);
+  EXPECT_TRUE(m->Validate().ok());
+}
+
+TEST(RmatTest, DeterministicForSeed) {
+  RmatParams p;
+  p.scale = 9;
+  p.edge_count = 2000;
+  p.seed = 7;
+  auto a = GenerateRmat(p);
+  auto b = GenerateRmat(p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(CsrApproxEqual(*a, *b, 0.0));
+  p.seed = 8;
+  auto c = GenerateRmat(p);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(CsrApproxEqual(*a, *c, 0.0));
+}
+
+TEST(RmatTest, SkewedParamsProduceSkewedDegrees) {
+  RmatParams uniform;
+  uniform.scale = 12;
+  uniform.edge_count = 40000;
+  uniform.a = uniform.b = uniform.c = uniform.d = 0.25;
+  RmatParams skewed = uniform;
+  skewed.a = 0.57;
+  skewed.b = skewed.c = 0.19;
+  skewed.d = 0.05;
+  auto mu = GenerateRmat(uniform);
+  auto ms = GenerateRmat(skewed);
+  ASSERT_TRUE(mu.ok() && ms.ok());
+  const auto su = sparse::ComputeRowStats(*mu);
+  const auto ss = sparse::ComputeRowStats(*ms);
+  EXPECT_GT(ss.gini, su.gini);
+  EXPECT_GT(ss.max_nnz, su.max_nnz);
+}
+
+TEST(RmatTest, RejectsBadParameters) {
+  RmatParams p;
+  p.scale = 0;
+  EXPECT_FALSE(GenerateRmat(p).ok());
+  p.scale = 10;
+  p.edge_count = -1;
+  EXPECT_FALSE(GenerateRmat(p).ok());
+  p.edge_count = 100;
+  p.a = 0.9;  // probabilities no longer sum to 1
+  EXPECT_FALSE(GenerateRmat(p).ok());
+}
+
+TEST(PowerLawTest, ShapeAndDeterminism) {
+  PowerLawParams p;
+  p.rows = 2000;
+  p.cols = 2000;
+  p.nnz = 12000;
+  p.row_skew = 0.9;
+  p.col_skew = 0.9;
+  auto a = GeneratePowerLaw(p);
+  auto b = GeneratePowerLaw(p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows(), 2000);
+  EXPECT_NEAR(static_cast<double>(a->nnz()), 12000.0, 1200.0);
+  EXPECT_TRUE(CsrApproxEqual(*a, *b, 0.0));
+  EXPECT_TRUE(a->Validate().ok());
+}
+
+TEST(PowerLawTest, SkewControlsGini) {
+  PowerLawParams flat;
+  flat.rows = flat.cols = 3000;
+  flat.nnz = 20000;
+  flat.row_skew = flat.col_skew = 0.1;
+  PowerLawParams steep = flat;
+  steep.row_skew = steep.col_skew = 1.0;
+  auto mf = GeneratePowerLaw(flat);
+  auto ms = GeneratePowerLaw(steep);
+  ASSERT_TRUE(mf.ok() && ms.ok());
+  EXPECT_GT(sparse::ComputeRowStats(*ms).gini,
+            sparse::ComputeRowStats(*mf).gini + 0.2);
+}
+
+TEST(PowerLawTest, AlignedHubsInflateOuterProductWork) {
+  PowerLawParams p;
+  p.rows = p.cols = 4000;
+  p.nnz = 30000;
+  p.row_skew = p.col_skew = 1.0;
+  p.align_hubs = true;
+  auto aligned = GeneratePowerLaw(p);
+  p.align_hubs = false;
+  auto unaligned = GeneratePowerLaw(p);
+  ASSERT_TRUE(aligned.ok() && unaligned.ok());
+  // C = A^2 work explodes when row hubs are also column hubs.
+  EXPECT_GT(sparse::SpGemmFlops(*aligned, *aligned),
+            2 * sparse::SpGemmFlops(*unaligned, *unaligned));
+}
+
+TEST(PowerLawTest, RejectsBadParameters) {
+  PowerLawParams p;
+  p.rows = 0;
+  p.cols = 10;
+  p.nnz = 5;
+  EXPECT_FALSE(GeneratePowerLaw(p).ok());
+  p.rows = 10;
+  p.nnz = 101;  // > rows*cols
+  EXPECT_FALSE(GeneratePowerLaw(p).ok());
+}
+
+TEST(QuasiRegularTest, ShapeDiagonalAndRegularity) {
+  QuasiRegularParams p;
+  p.n = 5000;
+  p.nnz = 60000;
+  p.degree_jitter = 0.2;
+  auto m = GenerateQuasiRegular(p);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 5000);
+  EXPECT_NEAR(static_cast<double>(m->nnz()), 60000.0, 6000.0);
+  // Full diagonal.
+  for (sparse::Index r = 0; r < 100; ++r) {
+    const sparse::SpanView row = m->Row(r);
+    bool has_diag = false;
+    for (sparse::Offset k = 0; k < row.size; ++k) {
+      if (row.indices[k] == r) has_diag = true;
+    }
+    EXPECT_TRUE(has_diag) << "row " << r;
+  }
+  // Low skew.
+  EXPECT_LT(sparse::ComputeRowStats(*m).gini, 0.2);
+}
+
+TEST(QuasiRegularTest, BandRespected) {
+  QuasiRegularParams p;
+  p.n = 4000;
+  p.nnz = 40000;
+  p.band_frac = 0.01;  // band halfwidth 40
+  auto m = GenerateQuasiRegular(p);
+  ASSERT_TRUE(m.ok());
+  const int64_t band = 40;
+  for (sparse::Index r = 0; r < m->rows(); r += 97) {
+    const sparse::SpanView row = m->Row(r);
+    for (sparse::Offset k = 0; k < row.size; ++k) {
+      EXPECT_LE(std::abs(static_cast<int64_t>(row.indices[k]) - r), band);
+    }
+  }
+}
+
+TEST(QuasiRegularTest, Deterministic) {
+  QuasiRegularParams p;
+  p.n = 1000;
+  p.nnz = 8000;
+  auto a = GenerateQuasiRegular(p);
+  auto b = GenerateQuasiRegular(p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(CsrApproxEqual(*a, *b, 0.0));
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace spnet

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sparse/matrix_market.h"
+#include "tests/test_util.h"
+
+namespace spnet {
+namespace sparse {
+namespace {
+
+TEST(MatrixMarketTest, ParsesGeneralReal) {
+  const std::string content =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 1.5\n"
+      "2 4 -2.0\n"
+      "3 2 0.5\n";
+  auto m = ParseMatrixMarket(content);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->rows(), 3);
+  EXPECT_EQ(m->cols(), 4);
+  EXPECT_EQ(m->nnz(), 3);
+  EXPECT_DOUBLE_EQ(m->Row(0).values[0], 1.5);
+  EXPECT_EQ(m->Row(1).indices[0], 3);
+}
+
+TEST(MatrixMarketTest, ParsesPattern) {
+  const std::string content =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n";
+  auto m = ParseMatrixMarket(content);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->Row(0).values[0], 1.0);
+  EXPECT_EQ(m->nnz(), 2);
+}
+
+TEST(MatrixMarketTest, ExpandsSymmetric) {
+  const std::string content =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 7.0\n";
+  auto m = ParseMatrixMarket(content);
+  ASSERT_TRUE(m.ok());
+  // (2,1) mirrored to (1,2); diagonal (3,3) not duplicated.
+  EXPECT_EQ(m->nnz(), 3);
+  EXPECT_DOUBLE_EQ(m->Row(0).values[0], 5.0);
+  EXPECT_DOUBLE_EQ(m->Row(1).values[0], 5.0);
+  EXPECT_DOUBLE_EQ(m->Row(2).values[0], 7.0);
+}
+
+TEST(MatrixMarketTest, RejectsMissingBanner) {
+  EXPECT_FALSE(ParseMatrixMarket("3 3 0\n").ok());
+  EXPECT_FALSE(ParseMatrixMarket("").ok());
+}
+
+TEST(MatrixMarketTest, RejectsUnsupportedFormats) {
+  EXPECT_FALSE(
+      ParseMatrixMarket("%%MatrixMarket matrix array real general\n2 2\n")
+          .ok());
+  EXPECT_FALSE(ParseMatrixMarket(
+                   "%%MatrixMarket matrix coordinate complex general\n"
+                   "1 1 1\n1 1 1.0 2.0\n")
+                   .ok());
+}
+
+TEST(MatrixMarketTest, RejectsOutOfBoundsEntries) {
+  const std::string content =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n";
+  EXPECT_FALSE(ParseMatrixMarket(content).ok());
+}
+
+TEST(MatrixMarketTest, RejectsTruncatedEntries) {
+  const std::string content =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n";
+  EXPECT_FALSE(ParseMatrixMarket(content).ok());
+}
+
+TEST(MatrixMarketTest, FileRoundTrip) {
+  const CsrMatrix m = testing_util::RandomMatrix(17, 23, 0.15, 5);
+  const std::string path = ::testing::TempDir() + "/roundtrip.mtx";
+  ASSERT_TRUE(WriteMatrixMarket(m, path).ok());
+  auto back = ReadMatrixMarket(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(CsrApproxEqual(m, *back, 1e-6));
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarketTest, ReadMissingFileFails) {
+  auto r = ReadMatrixMarket("/nonexistent/path/to/matrix.mtx");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace sparse
+}  // namespace spnet

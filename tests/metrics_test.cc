@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/report.h"
+
+namespace spnet {
+namespace metrics {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every row ends at the same column for the second field start.
+  const size_t header_value = t.ToString().find("value");
+  EXPECT_NE(header_value, std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"x", "y"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(FormatCountTest, HumanUnits) {
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(62500), "62.5k");
+  EXPECT_EQ(FormatCount(2700000), "2.7M");
+  EXPECT_EQ(FormatCount(148000000), "148.0M");
+  EXPECT_EQ(FormatCount(2500000000), "2.5G");
+  EXPECT_EQ(FormatCount(0), "0");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.434, 2), "1.43");
+  EXPECT_EQ(FormatDouble(1.435, 1), "1.4");
+  EXPECT_EQ(FormatDouble(-0.5, 2), "-0.50");
+}
+
+TEST(MeansTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({2.0}), 2.0);
+  EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  // Non-positive values make the geometric mean undefined; we return 0.
+  EXPECT_DOUBLE_EQ(GeometricMean({1.0, 0.0}), 0.0);
+}
+
+TEST(MeansTest, ArithmeticMean) {
+  EXPECT_DOUBLE_EQ(ArithmeticMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(ArithmeticMean({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace spnet

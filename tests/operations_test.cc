@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/operations.h"
+#include "sparse/reference_spgemm.h"
+#include "tests/test_util.h"
+
+namespace spnet {
+namespace sparse {
+namespace {
+
+CsrMatrix Small() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  // [ 4 0 5 ]
+  CooMatrix coo(3, 3);
+  coo.Add(0, 0, 1);
+  coo.Add(0, 2, 2);
+  coo.Add(1, 1, 3);
+  coo.Add(2, 0, 4);
+  coo.Add(2, 2, 5);
+  return std::move(CsrMatrix::FromCoo(coo)).value();
+}
+
+TEST(SpMvTest, KnownProduct) {
+  const CsrMatrix a = Small();
+  auto y = SpMv(a, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(y.ok());
+  EXPECT_DOUBLE_EQ((*y)[0], 7.0);   // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ((*y)[1], 6.0);   // 3*2
+  EXPECT_DOUBLE_EQ((*y)[2], 19.0);  // 4*1 + 5*3
+}
+
+TEST(SpMvTest, SizeMismatchRejected) {
+  EXPECT_FALSE(SpMv(Small(), {1.0, 2.0}).ok());
+  EXPECT_FALSE(SpMvTranspose(Small(), {1.0}).ok());
+}
+
+TEST(SpMvTest, TransposeAgreesWithExplicitTranspose) {
+  const CsrMatrix a = testing_util::RandomMatrix(40, 60, 0.1, 3);
+  std::vector<Value> x(40);
+  Rng rng(5);
+  for (auto& v : x) v = rng.NextDouble();
+  auto indirect = SpMvTranspose(a, x);
+  auto direct = SpMv(a.Transpose(), x);
+  ASSERT_TRUE(indirect.ok() && direct.ok());
+  ASSERT_EQ(indirect->size(), direct->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_NEAR((*indirect)[i], (*direct)[i], 1e-12);
+  }
+}
+
+TEST(AddTest, LinearCombination) {
+  const CsrMatrix a = Small();
+  auto sum = Add(a, a, 2.0, -1.0);  // = a
+  ASSERT_TRUE(sum.ok());
+  EXPECT_TRUE(CsrApproxEqual(*sum, a));
+}
+
+TEST(AddTest, DisjointPatternsUnion) {
+  CooMatrix ca(2, 2), cb(2, 2);
+  ca.Add(0, 0, 1.0);
+  cb.Add(1, 1, 2.0);
+  auto a = CsrMatrix::FromCoo(ca);
+  auto b = CsrMatrix::FromCoo(cb);
+  auto sum = Add(*a, *b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->nnz(), 2);
+  EXPECT_DOUBLE_EQ(sum->Row(0).values[0], 1.0);
+  EXPECT_DOUBLE_EQ(sum->Row(1).values[0], 2.0);
+}
+
+TEST(AddTest, ShapeMismatchRejected) {
+  const CsrMatrix a = testing_util::RandomMatrix(3, 4, 0.5, 1);
+  const CsrMatrix b = testing_util::RandomMatrix(4, 3, 0.5, 2);
+  EXPECT_FALSE(Add(a, b).ok());
+  EXPECT_FALSE(Hadamard(a, b).ok());
+}
+
+TEST(HadamardTest, PatternIntersection) {
+  const CsrMatrix a = Small();
+  auto h = Hadamard(a, a);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->nnz(), a.nnz());
+  EXPECT_DOUBLE_EQ(h->Row(2).values[1], 25.0);
+}
+
+TEST(ScaleTest, ScalesValues) {
+  const CsrMatrix s = Scale(Small(), -2.0);
+  EXPECT_DOUBLE_EQ(s.Row(0).values[1], -4.0);
+  EXPECT_EQ(s.nnz(), Small().nnz());
+}
+
+TEST(SubmatrixTest, ExtractsAndReindexes) {
+  const CsrMatrix a = Small();
+  auto sub = Submatrix(a, 1, 3, 0, 2);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->rows(), 2);
+  EXPECT_EQ(sub->cols(), 2);
+  // Rows 1..2, cols 0..1 of a: [0 3; 4 0].
+  EXPECT_EQ(sub->nnz(), 2);
+  EXPECT_DOUBLE_EQ(sub->Row(0).values[0], 3.0);
+  EXPECT_EQ(sub->Row(0).indices[0], 1);
+  EXPECT_DOUBLE_EQ(sub->Row(1).values[0], 4.0);
+}
+
+TEST(SubmatrixTest, BadRangesRejected) {
+  const CsrMatrix a = Small();
+  EXPECT_FALSE(Submatrix(a, 2, 1, 0, 3).ok());
+  EXPECT_FALSE(Submatrix(a, 0, 4, 0, 3).ok());
+  EXPECT_FALSE(Submatrix(a, 0, 3, -1, 2).ok());
+}
+
+TEST(DropEntriesTest, RemovesSmallValues) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 0.5);
+  coo.Add(0, 1, -2.0);
+  coo.Add(1, 1, 0.0);
+  auto a = CsrMatrix::FromCoo(coo);
+  const CsrMatrix d = DropEntries(*a, 0.6);
+  EXPECT_EQ(d.nnz(), 1);
+  EXPECT_DOUBLE_EQ(d.Row(0).values[0], -2.0);
+  // Threshold 0 keeps 0.5 but drops the explicit zero.
+  EXPECT_EQ(DropEntries(*a).nnz(), 2);
+}
+
+TEST(TopKTest, KeepsLargestMagnitudesSorted) {
+  CooMatrix coo(1, 5);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 1, -5.0);
+  coo.Add(0, 2, 3.0);
+  coo.Add(0, 3, -2.0);
+  coo.Add(0, 4, 4.0);
+  auto a = CsrMatrix::FromCoo(coo);
+  const CsrMatrix top = TopKPerRow(*a, 2);
+  ASSERT_EQ(top.nnz(), 2);
+  EXPECT_EQ(top.Row(0).indices[0], 1);
+  EXPECT_EQ(top.Row(0).indices[1], 4);
+  EXPECT_TRUE(top.RowsSorted());
+  // k larger than the row keeps everything.
+  EXPECT_EQ(TopKPerRow(*a, 10).nnz(), 5);
+  EXPECT_EQ(TopKPerRow(*a, 0).nnz(), 0);
+}
+
+TEST(NormTest, FrobeniusAndSum) {
+  const CsrMatrix a = Small();
+  EXPECT_NEAR(FrobeniusNorm(a), std::sqrt(1.0 + 4 + 9 + 16 + 25), 1e-12);
+  EXPECT_DOUBLE_EQ(EntrySum(a), 15.0);
+}
+
+TEST(IdentityTest, NeutralUnderSpGemm) {
+  const CsrMatrix a = testing_util::RandomMatrix(25, 25, 0.2, 9);
+  auto c = ReferenceSpGemm(a, Identity(25));
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(CsrApproxEqual(*c, a));
+}
+
+TEST(RowNormalizeTest, RowsSumToOne) {
+  const CsrMatrix a = testing_util::SkewedMatrix(50, 30, 4);
+  const CsrMatrix p = RowNormalize(a);
+  for (Index r = 0; r < p.rows(); ++r) {
+    const SpanView row = p.Row(r);
+    if (row.size == 0) continue;
+    Value sum = 0.0;
+    for (Offset k = 0; k < row.size; ++k) sum += row.values[k];
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << r;
+  }
+}
+
+TEST(DiagonalTest, RoundTrip) {
+  const std::vector<Value> d = {1.0, 0.0, -3.0};
+  const CsrMatrix m = Diagonal(d);
+  EXPECT_EQ(m.rows(), 3);
+  const auto back = ExtractDiagonal(m);
+  ASSERT_EQ(back.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(back[i], d[i]);
+  // Extracting from a non-diagonal matrix picks diagonal entries only.
+  const auto diag = ExtractDiagonal(Small());
+  EXPECT_DOUBLE_EQ(diag[0], 1.0);
+  EXPECT_DOUBLE_EQ(diag[1], 3.0);
+  EXPECT_DOUBLE_EQ(diag[2], 5.0);
+}
+
+TEST(OperationsPropertyTest, AddIsDistributiveOverSpGemm) {
+  // (A + B) * C == A*C + B*C on random inputs.
+  const CsrMatrix a = testing_util::RandomMatrix(20, 25, 0.15, 11);
+  const CsrMatrix b = testing_util::RandomMatrix(20, 25, 0.15, 12);
+  const CsrMatrix c = testing_util::RandomMatrix(25, 15, 0.2, 13);
+  auto ab = Add(a, b);
+  ASSERT_TRUE(ab.ok());
+  auto left = ReferenceSpGemm(*ab, c);
+  auto ac = ReferenceSpGemm(a, c);
+  auto bc = ReferenceSpGemm(b, c);
+  ASSERT_TRUE(left.ok() && ac.ok() && bc.ok());
+  auto right = Add(*ac, *bc);
+  ASSERT_TRUE(right.ok());
+  EXPECT_TRUE(CsrApproxEqual(*left, *right, 1e-9));
+}
+
+}  // namespace
+}  // namespace sparse
+}  // namespace spnet

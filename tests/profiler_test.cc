@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/block_reorganizer.h"
+#include "gpusim/profiler.h"
+#include "tests/test_util.h"
+
+namespace spnet {
+namespace gpusim {
+namespace {
+
+std::vector<KernelDesc> MakePipeline() {
+  const sparse::CsrMatrix a = testing_util::SkewedMatrix(300, 200, 61);
+  core::BlockReorganizerSpGemm alg;
+  auto plan = alg.Plan(a, a, DeviceSpec::TitanXp());
+  SPNET_CHECK(plan.ok());
+  return std::move(plan->kernels);
+}
+
+TEST(ProfilerTest, ProfilesEveryKernel) {
+  const auto kernels = MakePipeline();
+  Profiler profiler(DeviceSpec::TitanXp());
+  ASSERT_TRUE(profiler.Profile(kernels).ok());
+  EXPECT_EQ(profiler.profiles().size(), kernels.size());
+  for (const auto& p : profiler.profiles()) {
+    EXPECT_FALSE(p.label.empty());
+    EXPECT_GT(p.stats.cycles, 0.0);
+  }
+}
+
+TEST(ProfilerTest, TotalEqualsSumOfKernels) {
+  const auto kernels = MakePipeline();
+  Profiler profiler(DeviceSpec::TitanXp());
+  ASSERT_TRUE(profiler.Profile(kernels).ok());
+  double sum = 0.0;
+  for (const auto& p : profiler.profiles()) sum += p.stats.cycles;
+  EXPECT_NEAR(profiler.Total().cycles, sum, 1e-6);
+}
+
+TEST(ProfilerTest, ReportContainsEveryLabel) {
+  const auto kernels = MakePipeline();
+  Profiler profiler(DeviceSpec::TitanXp());
+  ASSERT_TRUE(profiler.Profile(kernels).ok());
+  const std::string report = profiler.ReportTable();
+  for (const auto& k : kernels) {
+    EXPECT_NE(report.find(k.label), std::string::npos) << k.label;
+  }
+}
+
+TEST(ProfilerTest, HistogramHasOneLinePerSm) {
+  const auto kernels = MakePipeline();
+  const DeviceSpec device = DeviceSpec::TitanXp();
+  Profiler profiler(device);
+  ASSERT_TRUE(profiler.Profile(kernels).ok());
+  const std::string histogram = profiler.SmHistogram(0);
+  EXPECT_EQ(std::count(histogram.begin(), histogram.end(), '\n'),
+            device.num_sms);
+  // Out-of-range index yields an empty string rather than a crash.
+  EXPECT_TRUE(profiler.SmHistogram(kernels.size() + 5).empty());
+}
+
+TEST(ProfilerTest, EmptyPipeline) {
+  Profiler profiler(DeviceSpec::TitanXp());
+  ASSERT_TRUE(profiler.Profile({}).ok());
+  EXPECT_TRUE(profiler.profiles().empty());
+  EXPECT_DOUBLE_EQ(profiler.Total().cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace gpusim
+}  // namespace spnet

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/registry.h"
+#include "sparse/stats.h"
+
+namespace spnet {
+namespace datasets {
+namespace {
+
+TEST(RegistryTest, TwentyEightDatasetsInPaperOrder) {
+  const auto& specs = TableTwoDatasets();
+  ASSERT_EQ(specs.size(), 28u);
+  EXPECT_EQ(specs.front().name, "filter3D");
+  EXPECT_EQ(specs.back().name, "stanford");
+  int florida = 0;
+  int stanford = 0;
+  std::set<std::string> names;
+  for (const auto& s : specs) {
+    EXPECT_GT(s.dim, 0);
+    EXPECT_GT(s.nnz, 0);
+    EXPECT_GT(s.paper_nnz_c, 0);
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+    if (s.family == Family::kFloridaRegular) {
+      ++florida;
+    } else {
+      ++stanford;
+    }
+  }
+  EXPECT_EQ(florida, 19);
+  EXPECT_EQ(stanford, 9);
+}
+
+TEST(RegistryTest, PublishedSizesMatchPaperTable) {
+  auto youtube = FindDataset("youtube");
+  ASSERT_TRUE(youtube.ok());
+  EXPECT_EQ(youtube->dim, 1100000);
+  EXPECT_EQ(youtube->nnz, 2800000);
+  EXPECT_EQ(youtube->paper_nnz_c, 148000000);
+  auto gowalla = FindDataset("loc-gowalla");
+  ASSERT_TRUE(gowalla.ok());
+  EXPECT_EQ(gowalla->paper_nnz_c, 456000000);
+}
+
+TEST(RegistryTest, FindRejectsUnknown) {
+  EXPECT_FALSE(FindDataset("not-a-dataset").ok());
+}
+
+TEST(RegistryTest, StanfordListHasTenEntries) {
+  const auto names = StanfordDatasetNames();
+  EXPECT_EQ(names.size(), 10u);
+  for (const auto& n : names) {
+    EXPECT_TRUE(FindDataset(n).ok()) << n;
+  }
+}
+
+TEST(RegistryTest, MaterializeScalesLinearly) {
+  auto spec = FindDataset("as-caida");
+  ASSERT_TRUE(spec.ok());
+  auto quarter = Materialize(*spec, 0.25, 42);
+  auto eighth = Materialize(*spec, 0.125, 42);
+  ASSERT_TRUE(quarter.ok() && eighth.ok());
+  EXPECT_NEAR(static_cast<double>(quarter->rows()),
+              0.25 * static_cast<double>(spec->dim), 64);
+  EXPECT_NEAR(static_cast<double>(quarter->nnz()) /
+                  static_cast<double>(eighth->nnz()),
+              2.0, 0.5);
+}
+
+TEST(RegistryTest, FamiliesHaveContrastingSkew) {
+  auto florida = FindDataset("filter3D");
+  auto snap = FindDataset("slashDot");
+  ASSERT_TRUE(florida.ok() && snap.ok());
+  auto mf = Materialize(*florida, 0.05, 42);
+  auto ms = Materialize(*snap, 0.05, 42);
+  ASSERT_TRUE(mf.ok() && ms.ok());
+  EXPECT_LT(sparse::ComputeRowStats(*mf).gini, 0.25);
+  EXPECT_GT(sparse::ComputeRowStats(*ms).gini, 0.5);
+}
+
+TEST(RegistryTest, MaterializeRejectsBadScale) {
+  auto spec = FindDataset("QCD");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(Materialize(*spec, 0.0).ok());
+  EXPECT_FALSE(Materialize(*spec, 5.0).ok());
+}
+
+TEST(RegistryTest, TableThreeSuites) {
+  const auto& specs = TableThreeDatasets();
+  ASSERT_EQ(specs.size(), 12u);
+  EXPECT_EQ(specs[0].name, "s1");
+  EXPECT_EQ(specs[0].dimension, 250000);
+  EXPECT_EQ(specs[0].elements, 62500);
+  EXPECT_EQ(specs[3].name, "s4");
+  EXPECT_EQ(specs[7].name, "p4");
+  EXPECT_DOUBLE_EQ(specs[7].a, 0.57);
+  EXPECT_EQ(specs[8].name, "sp1");
+  EXPECT_EQ(specs[8].elements, 4000000);
+}
+
+TEST(RegistryTest, MaterializeSyntheticRoundsToPow2) {
+  const auto& specs = TableThreeDatasets();
+  auto m = MaterializeSynthetic(specs[0], 0.05, 42);
+  ASSERT_TRUE(m.ok());
+  // 250000 * 0.05 = 12500 -> next pow2 = 16384.
+  EXPECT_EQ(m->rows(), 16384);
+}
+
+TEST(RegistryTest, AbPairDistinctMatrices) {
+  auto pair = MaterializeAbPair(10, 42);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->a.rows(), 1024);
+  EXPECT_EQ(pair->b.rows(), 1024);
+  // Edge factor 16.
+  EXPECT_NEAR(static_cast<double>(pair->a.nnz()), 16.0 * 1024.0, 2048.0);
+  EXPECT_FALSE(sparse::CsrApproxEqual(pair->a, pair->b, 0.0));
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace spnet

@@ -1,0 +1,198 @@
+// Integration tests asserting the paper's qualitative results end to end:
+// generated dataset -> algorithm plan -> simulator -> profile. Each test
+// checks a *shape* (who wins, what improves), never an absolute number, so
+// they are robust to re-calibration of the cost model.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/block_reorganizer.h"
+#include "core/suite.h"
+#include "datasets/registry.h"
+#include "gpusim/simulator.h"
+#include "spgemm/algorithm.h"
+
+namespace spnet {
+namespace {
+
+using sparse::CsrMatrix;
+
+CsrMatrix Skewed(double scale = 0.05) {
+  auto spec = datasets::FindDataset("youtube");
+  SPNET_CHECK(spec.ok());
+  auto m = datasets::Materialize(*spec, scale, 42);
+  SPNET_CHECK(m.ok());
+  return std::move(m).value();
+}
+
+CsrMatrix Regular(double scale = 0.05) {
+  auto spec = datasets::FindDataset("filter3D");
+  SPNET_CHECK(spec.ok());
+  auto m = datasets::Materialize(*spec, scale, 42);
+  SPNET_CHECK(m.ok());
+  return std::move(m).value();
+}
+
+double Seconds(const spgemm::SpGemmAlgorithm& alg, const CsrMatrix& a,
+               const gpusim::DeviceSpec& device) {
+  auto m = spgemm::Measure(alg, a, a, device);
+  SPNET_CHECK(m.ok()) << m.status().ToString();
+  return m->total_seconds;
+}
+
+TEST(BehaviorTest, ReorganizerBeatsOuterProductOnSkewedData) {
+  const CsrMatrix a = Skewed();
+  const auto device = gpusim::DeviceSpec::TitanXp();
+  const auto outer = spgemm::MakeOuterProduct();
+  core::BlockReorganizerSpGemm reorganizer;
+  EXPECT_LT(Seconds(reorganizer, a, device), Seconds(*outer, a, device));
+}
+
+TEST(BehaviorTest, ReorganizerBeatsRowProductOnSkewedData) {
+  const CsrMatrix a = Skewed(0.1);
+  const auto device = gpusim::DeviceSpec::TitanXp();
+  const auto row = spgemm::MakeRowProduct();
+  core::BlockReorganizerSpGemm reorganizer;
+  EXPECT_LT(Seconds(reorganizer, a, device), Seconds(*row, a, device));
+}
+
+TEST(BehaviorTest, SplittingImprovesDominatorLoadBalance) {
+  // The Figure 11 effect: LBI of the dominator kernel rises monotonically
+  // (within tolerance) with the splitting factor and approaches 1.
+  const CsrMatrix a = Skewed();
+  const auto device = gpusim::DeviceSpec::TitanXp();
+  gpusim::Simulator sim(device);
+  double prev_lbi = 0.0;
+  for (int factor : {1, 8, 64}) {
+    core::ReorganizerConfig config;
+    config.enable_gathering = false;
+    config.enable_limiting = false;
+    config.splitting_factor_override = factor;
+    core::BlockReorganizerSpGemm alg(config);
+    auto plan = alg.Plan(a, a, device);
+    ASSERT_TRUE(plan.ok());
+    for (const auto& k : plan->kernels) {
+      if (k.label != "expansion-dominators") continue;
+      auto s = sim.RunKernel(k);
+      ASSERT_TRUE(s.ok());
+      EXPECT_GT(s->Lbi(), prev_lbi - 0.05) << "factor " << factor;
+      prev_lbi = s->Lbi();
+    }
+  }
+  EXPECT_GT(prev_lbi, 0.8);
+}
+
+TEST(BehaviorTest, GatheringReducesSyncStalls) {
+  // The Figure 13 effect.
+  const CsrMatrix a = Skewed();
+  const auto device = gpusim::DeviceSpec::TitanXp();
+  gpusim::Simulator sim(device);
+  auto stalls = [&](bool gathering) {
+    core::ReorganizerConfig config;
+    config.enable_splitting = false;
+    config.enable_limiting = false;
+    config.enable_gathering = gathering;
+    core::BlockReorganizerSpGemm alg(config);
+    auto plan = alg.Plan(a, a, device);
+    SPNET_CHECK(plan.ok());
+    gpusim::KernelStats total;
+    for (const auto& k : plan->kernels) {
+      if (k.phase != gpusim::Phase::kExpansion) continue;
+      auto s = sim.RunKernel(k);
+      SPNET_CHECK(s.ok());
+      total.Accumulate(*s);
+    }
+    return total.SyncStallFraction();
+  };
+  EXPECT_LT(stalls(true), stalls(false) * 0.7);
+}
+
+TEST(BehaviorTest, GatheringHelpsOnUnderloadedHeavyData) {
+  // mario002-style inputs (tiny rows, many blocks) are where B-Gathering
+  // shines in Figure 10.
+  auto spec = datasets::FindDataset("mario002");
+  ASSERT_TRUE(spec.ok());
+  auto a = datasets::Materialize(*spec, 0.1, 42);
+  ASSERT_TRUE(a.ok());
+  const auto device = gpusim::DeviceSpec::TitanXp();
+  const auto outer = spgemm::MakeOuterProduct();
+  core::ReorganizerConfig gather_only;
+  gather_only.enable_splitting = false;
+  gather_only.enable_limiting = false;
+  core::BlockReorganizerSpGemm alg(gather_only);
+  EXPECT_LT(Seconds(alg, *a, device), Seconds(*outer, *a, device));
+}
+
+TEST(BehaviorTest, SkewHurtsRowProductFamilyMore) {
+  // The Figure 16(a) P-suite effect: relative to the reorganizer, the
+  // row-product family loses ground as skew rises.
+  const auto device = gpusim::DeviceSpec::TitanXp();
+  const auto row = spgemm::MakeRowProduct();
+  core::BlockReorganizerSpGemm reorganizer;
+  const CsrMatrix regular = Regular();
+  const CsrMatrix skewed = Skewed();
+  const double regular_ratio =
+      Seconds(*row, regular, device) / Seconds(reorganizer, regular, device);
+  const double skewed_ratio =
+      Seconds(*row, skewed, device) / Seconds(reorganizer, skewed, device);
+  EXPECT_GT(skewed_ratio, regular_ratio);
+}
+
+TEST(BehaviorTest, MoreSmsHelpTheReorganizerMore) {
+  // Figure 15: everything speeds up on the V100, and splitting has more
+  // SMs to feed.
+  const CsrMatrix a = Skewed();
+  core::BlockReorganizerSpGemm reorganizer;
+  const double titan =
+      Seconds(reorganizer, a, gpusim::DeviceSpec::TitanXp());
+  const double v100 =
+      Seconds(reorganizer, a, gpusim::DeviceSpec::TeslaV100());
+  EXPECT_LT(v100, titan);
+}
+
+TEST(BehaviorTest, MergeShareGrowsWithSkew) {
+  // Figure 3(c): merge takes a larger share on power-law data than the
+  // expansion-balanced regular sets... measured on the outer baseline.
+  const auto device = gpusim::DeviceSpec::TitanXp();
+  const auto outer = spgemm::MakeOuterProduct();
+  auto merge_share = [&](const CsrMatrix& a) {
+    auto m = spgemm::Measure(*outer, a, a, device);
+    SPNET_CHECK(m.ok());
+    return m->merge.seconds / (m->merge.seconds + m->expansion.seconds);
+  };
+  EXPECT_GT(merge_share(Skewed()), 0.1);
+  EXPECT_GT(merge_share(Regular()), 0.1);
+}
+
+TEST(BehaviorTest, CuspIsBandwidthBoundEverywhere) {
+  // CUSP's sort passes make its cost track flops, flattening its GFLOPS
+  // across datasets (the paper's flat CUSP bars in Figure 9).
+  const auto device = gpusim::DeviceSpec::TitanXp();
+  const auto cusp = spgemm::MakeCuspLike();
+  auto gflops = [&](const CsrMatrix& a) {
+    auto m = spgemm::Measure(*cusp, a, a, device);
+    SPNET_CHECK(m.ok());
+    return m->Gflops();
+  };
+  const double g1 = gflops(Regular());
+  const double g2 = gflops(Skewed());
+  EXPECT_LT(std::max(g1, g2) / std::min(g1, g2), 3.0);
+}
+
+TEST(BehaviorTest, PreprocessingOverheadVisibleOnTinyInputs) {
+  // Figure 16(a) s1: on very small inputs the reorganizer's preprocessing
+  // keeps it from winning.
+  auto spec = datasets::FindDataset("poisson3Da");
+  ASSERT_TRUE(spec.ok());
+  auto a = datasets::Materialize(*spec, 0.02, 42);
+  ASSERT_TRUE(a.ok());
+  const auto device = gpusim::DeviceSpec::TitanXp();
+  core::BlockReorganizerSpGemm reorganizer;
+  auto m = spgemm::Measure(reorganizer, *a, *a, device);
+  ASSERT_TRUE(m.ok());
+  // Host preprocessing is a visible fraction of the total.
+  EXPECT_GT(m->host_seconds / m->total_seconds, 0.05);
+}
+
+}  // namespace
+}  // namespace spnet

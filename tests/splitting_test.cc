@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "core/b_splitting.h"
+#include "core/workload_classifier.h"
+#include "spgemm/workload_model.h"
+#include "tests/test_util.h"
+
+namespace spnet {
+namespace core {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::Index;
+
+struct Fixture {
+  CsrMatrix a;
+  spgemm::Workload w;
+  Classification c;
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::TitanXp();
+
+  explicit Fixture(uint64_t seed)
+      : a(testing_util::SkewedMatrix(600, 500, seed)),
+        w(spgemm::BuildWorkload(a, a)),
+        c(Classify(w, ReorganizerConfig{})) {}
+};
+
+TEST(SplittingTest, FragmentsPartitionEachColumn) {
+  Fixture f(51);
+  ASSERT_FALSE(f.c.dominators.empty());
+  const SplitPlan plan =
+      BuildSplitPlan(f.w, f.c.dominators, ReorganizerConfig{}, f.device);
+  ASSERT_EQ(plan.vectors.size(), f.c.dominators.size());
+  for (const SplitVector& v : plan.vectors) {
+    const int64_t col_nnz = f.w.a_col_nnz[static_cast<size_t>(v.pair)];
+    ASSERT_EQ(v.offsets.size(), static_cast<size_t>(v.factor) + 1);
+    EXPECT_EQ(v.offsets.front(), 0);
+    EXPECT_EQ(v.offsets.back(), col_nnz);
+    for (size_t i = 0; i + 1 < v.offsets.size(); ++i) {
+      EXPECT_LE(v.offsets[i], v.offsets[i + 1]);
+    }
+    EXPECT_TRUE(IsPow2(v.factor));
+  }
+}
+
+TEST(SplittingTest, FragmentsAreEvenWithinOne) {
+  Fixture f(53);
+  const SplitPlan plan =
+      BuildSplitPlan(f.w, f.c.dominators, ReorganizerConfig{}, f.device);
+  for (const SplitVector& v : plan.vectors) {
+    int64_t min_size = INT64_MAX;
+    int64_t max_size = 0;
+    for (int i = 0; i < v.factor; ++i) {
+      const int64_t size = v.offsets[static_cast<size_t>(i) + 1] -
+                           v.offsets[static_cast<size_t>(i)];
+      min_size = std::min(min_size, size);
+      max_size = std::max(max_size, size);
+    }
+    EXPECT_LE(max_size - min_size, 1);
+  }
+}
+
+TEST(SplittingTest, HeuristicSpreadsPastSmCount) {
+  Fixture f(55);
+  const SplitPlan plan =
+      BuildSplitPlan(f.w, f.c.dominators, ReorganizerConfig{}, f.device);
+  for (const SplitVector& v : plan.vectors) {
+    const int64_t col_nnz = f.w.a_col_nnz[static_cast<size_t>(v.pair)];
+    if (col_nnz >= 2 * f.device.num_sms) {
+      EXPECT_GE(v.factor, 2 * f.device.num_sms);
+    } else {
+      // Never split below one element per fragment.
+      EXPECT_LE(v.factor, col_nnz);
+    }
+  }
+}
+
+TEST(SplittingTest, OverrideForcesUniformFactor) {
+  Fixture f(57);
+  ReorganizerConfig config;
+  config.splitting_factor_override = 8;
+  const SplitPlan plan =
+      BuildSplitPlan(f.w, f.c.dominators, config, f.device);
+  for (const SplitVector& v : plan.vectors) {
+    const int64_t col_nnz = f.w.a_col_nnz[static_cast<size_t>(v.pair)];
+    EXPECT_EQ(v.factor, std::min<int64_t>(8, PrevPow2(col_nnz)));
+  }
+}
+
+TEST(SplittingTest, MapperCoversEveryFragmentInOrder) {
+  Fixture f(59);
+  const SplitPlan plan =
+      BuildSplitPlan(f.w, f.c.dominators, ReorganizerConfig{}, f.device);
+  const std::vector<Index> mapper = plan.BuildMapper();
+  EXPECT_EQ(static_cast<int64_t>(mapper.size()), plan.total_fragments);
+  size_t cursor = 0;
+  for (const SplitVector& v : plan.vectors) {
+    for (int i = 0; i < v.factor; ++i) {
+      ASSERT_LT(cursor, mapper.size());
+      EXPECT_EQ(mapper[cursor], v.pair);
+      ++cursor;
+    }
+  }
+}
+
+TEST(SplittingTest, CopiedElementsAccountsBothVectors) {
+  Fixture f(61);
+  const SplitPlan plan =
+      BuildSplitPlan(f.w, f.c.dominators, ReorganizerConfig{}, f.device);
+  int64_t expected = 0;
+  for (Index pair : f.c.dominators) {
+    expected += f.w.a_col_nnz[static_cast<size_t>(pair)] +
+                f.w.b_row_nnz[static_cast<size_t>(pair)];
+  }
+  EXPECT_EQ(plan.copied_elements, expected);
+}
+
+TEST(SplittingTest, EmptyDominatorsYieldEmptyPlan) {
+  Fixture f(63);
+  const SplitPlan plan =
+      BuildSplitPlan(f.w, {}, ReorganizerConfig{}, f.device);
+  EXPECT_TRUE(plan.vectors.empty());
+  EXPECT_EQ(plan.total_fragments, 0);
+  EXPECT_EQ(plan.copied_elements, 0);
+}
+
+TEST(SplittingTest, BiggerDeviceSplitsFiner) {
+  Fixture f(65);
+  const SplitPlan titan =
+      BuildSplitPlan(f.w, f.c.dominators, ReorganizerConfig{}, f.device);
+  const SplitPlan v100 = BuildSplitPlan(f.w, f.c.dominators,
+                                        ReorganizerConfig{},
+                                        gpusim::DeviceSpec::TeslaV100());
+  // 80 SMs need at least as many fragments as 30 SMs.
+  EXPECT_GE(v100.total_fragments, titan.total_fragments);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace spnet

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "sparse/reference_spgemm.h"
+#include "sparse/stats.h"
+#include "tests/test_util.h"
+
+namespace spnet {
+namespace sparse {
+namespace {
+
+CsrMatrix Diagonal(Index n) {
+  CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) coo.Add(i, i, 1.0);
+  auto r = CsrMatrix::FromCoo(coo);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(StatsTest, UniformRowsHaveZeroSkew) {
+  const CsrMatrix m = Diagonal(100);
+  const DegreeStats s = ComputeRowStats(m);
+  EXPECT_EQ(s.min_nnz, 1);
+  EXPECT_EQ(s.max_nnz, 1);
+  EXPECT_DOUBLE_EQ(s.mean_nnz, 1.0);
+  EXPECT_DOUBLE_EQ(s.cv, 0.0);
+  EXPECT_NEAR(s.gini, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.frac_rows_below_warp, 1.0);
+}
+
+TEST(StatsTest, SkewedMatrixHasHighGini) {
+  const CsrMatrix m = testing_util::SkewedMatrix(256, 200, 3);
+  const DegreeStats s = ComputeRowStats(m);
+  EXPECT_GT(s.max_nnz, 16);
+  EXPECT_GT(s.gini, 0.3);
+  EXPECT_GT(s.cv, 1.0);
+}
+
+TEST(StatsTest, FlopsMatchesManualCount) {
+  // a = [1 1; 0 1], b = [1 0; 1 1]
+  CooMatrix ca(2, 2), cb(2, 2);
+  ca.Add(0, 0, 1);
+  ca.Add(0, 1, 1);
+  ca.Add(1, 1, 1);
+  cb.Add(0, 0, 1);
+  cb.Add(1, 0, 1);
+  cb.Add(1, 1, 1);
+  auto a = CsrMatrix::FromCoo(ca);
+  auto b = CsrMatrix::FromCoo(cb);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // row 0 of a: cols {0,1} -> nnz(b row 0)=1 + nnz(b row 1)=2 = 3
+  // row 1 of a: col {1} -> 2. total 5.
+  EXPECT_EQ(SpGemmFlops(*a, *b), 5);
+  auto row_flops = SpGemmRowFlops(*a, *b);
+  ASSERT_EQ(row_flops.size(), 2u);
+  EXPECT_EQ(row_flops[0], 3);
+  EXPECT_EQ(row_flops[1], 2);
+}
+
+TEST(StatsTest, PairWorkMatchesColRowProducts) {
+  CooMatrix ca(3, 2), cb(2, 3);
+  ca.Add(0, 0, 1);
+  ca.Add(1, 0, 1);
+  ca.Add(2, 1, 1);
+  cb.Add(0, 0, 1);
+  cb.Add(0, 2, 1);
+  cb.Add(1, 1, 1);
+  auto a = CsrMatrix::FromCoo(ca);
+  auto b = CsrMatrix::FromCoo(cb);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto work = OuterProductPairWork(*a, *b);
+  ASSERT_EQ(work.size(), 2u);
+  EXPECT_EQ(work[0], 2 * 2);  // col 0 of a has 2, row 0 of b has 2
+  EXPECT_EQ(work[1], 1 * 1);
+}
+
+TEST(StatsTest, PairWorkSumsToFlops) {
+  const CsrMatrix a = testing_util::SkewedMatrix(64, 40, 1);
+  const CsrMatrix b = testing_util::SkewedMatrix(64, 40, 2);
+  auto work = OuterProductPairWork(a, b);
+  int64_t total = 0;
+  for (int64_t w : work) total += w;
+  EXPECT_EQ(total, SpGemmFlops(a, b));
+}
+
+TEST(StatsTest, HistogramBuckets) {
+  // Rows with nnz 1, 2, 3, 8 and one empty row.
+  CooMatrix coo(5, 16);
+  coo.Add(0, 0, 1);
+  for (int c = 0; c < 2; ++c) coo.Add(1, c, 1);
+  for (int c = 0; c < 3; ++c) coo.Add(2, c, 1);
+  for (int c = 0; c < 8; ++c) coo.Add(3, c, 1);
+  auto m = CsrMatrix::FromCoo(coo);
+  ASSERT_TRUE(m.ok());
+  const DegreeHistogram h = ComputeRowHistogram(*m);
+  EXPECT_EQ(h.empty_rows, 1);
+  ASSERT_GE(h.buckets.size(), 4u);
+  EXPECT_EQ(h.buckets[0], 1);  // nnz 1
+  EXPECT_EQ(h.buckets[1], 2);  // nnz 2-3
+  EXPECT_EQ(h.buckets[3], 1);  // nnz 8-15
+}
+
+TEST(ReferenceSpGemmTest, IdentityIsNeutral) {
+  const CsrMatrix m = testing_util::RandomMatrix(20, 20, 0.2, 7);
+  const CsrMatrix eye = Diagonal(20);
+  auto left = ReferenceSpGemm(eye, m);
+  auto right = ReferenceSpGemm(m, eye);
+  ASSERT_TRUE(left.ok() && right.ok());
+  EXPECT_TRUE(CsrApproxEqual(*left, m));
+  EXPECT_TRUE(CsrApproxEqual(*right, m));
+}
+
+TEST(ReferenceSpGemmTest, KnownSmallProduct) {
+  // a = [1 2; 3 0], b = [0 1; 2 0] -> c = [4 1; 0 3]
+  CooMatrix ca(2, 2), cb(2, 2);
+  ca.Add(0, 0, 1);
+  ca.Add(0, 1, 2);
+  ca.Add(1, 0, 3);
+  cb.Add(0, 1, 1);
+  cb.Add(1, 0, 2);
+  auto a = CsrMatrix::FromCoo(ca);
+  auto b = CsrMatrix::FromCoo(cb);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto c = ReferenceSpGemm(*a, *b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->nnz(), 3);
+  EXPECT_DOUBLE_EQ(c->Row(0).values[0], 4.0);  // col 0
+  EXPECT_DOUBLE_EQ(c->Row(0).values[1], 1.0);  // col 1
+  EXPECT_DOUBLE_EQ(c->Row(1).values[0], 3.0);
+}
+
+TEST(ReferenceSpGemmTest, DimensionMismatchRejected) {
+  const CsrMatrix a = testing_util::RandomMatrix(4, 5, 0.5, 1);
+  const CsrMatrix b = testing_util::RandomMatrix(4, 5, 0.5, 2);
+  EXPECT_FALSE(ReferenceSpGemm(a, b).ok());
+}
+
+TEST(ReferenceSpGemmTest, CancellationKeepsExplicitZero) {
+  // (1)(1) + (1)(-1) = 0: Gustavson keeps a numerically-zero entry.
+  CooMatrix ca(1, 2), cb(2, 1);
+  ca.Add(0, 0, 1.0);
+  ca.Add(0, 1, 1.0);
+  cb.Add(0, 0, 1.0);
+  cb.Add(1, 0, -1.0);
+  auto a = CsrMatrix::FromCoo(ca);
+  auto b = CsrMatrix::FromCoo(cb);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto c = ReferenceSpGemm(*a, *b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->nnz(), 1);
+  EXPECT_DOUBLE_EQ(c->Row(0).values[0], 0.0);
+}
+
+TEST(ReferenceSpGemmTest, SymbolicNnzMatchesNumeric) {
+  const CsrMatrix a = testing_util::SkewedMatrix(60, 30, 11);
+  const CsrMatrix b = testing_util::SkewedMatrix(60, 30, 12);
+  auto c = ReferenceSpGemm(a, b);
+  auto nnz = SpGemmExactOutputNnz(a, b);
+  ASSERT_TRUE(c.ok() && nnz.ok());
+  EXPECT_EQ(c->nnz(), nnz.value());
+}
+
+TEST(ReferenceSpGemmTest, AssociativityOnSmallMatrices) {
+  const CsrMatrix a = testing_util::RandomMatrix(12, 15, 0.3, 21);
+  const CsrMatrix b = testing_util::RandomMatrix(15, 9, 0.3, 22);
+  const CsrMatrix c = testing_util::RandomMatrix(9, 14, 0.3, 23);
+  auto ab = ReferenceSpGemm(a, b);
+  auto bc = ReferenceSpGemm(b, c);
+  ASSERT_TRUE(ab.ok() && bc.ok());
+  auto ab_c = ReferenceSpGemm(*ab, c);
+  auto a_bc = ReferenceSpGemm(a, *bc);
+  ASSERT_TRUE(ab_c.ok() && a_bc.ok());
+  EXPECT_TRUE(CsrApproxEqual(*ab_c, *a_bc, 1e-8));
+}
+
+}  // namespace
+}  // namespace sparse
+}  // namespace spnet

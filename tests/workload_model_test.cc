@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "spgemm/row_product.h"
+#include "spgemm/workload_model.h"
+#include "sparse/reference_spgemm.h"
+#include "sparse/stats.h"
+#include "tests/test_util.h"
+
+namespace spnet {
+namespace spgemm {
+namespace {
+
+using sparse::CsrMatrix;
+
+TEST(WorkloadTest, MatchesSparseStats) {
+  const CsrMatrix a = testing_util::SkewedMatrix(128, 64, 3);
+  const CsrMatrix b = testing_util::SkewedMatrix(128, 64, 4);
+  const Workload w = BuildWorkload(a, b);
+  EXPECT_EQ(w.flops, sparse::SpGemmFlops(a, b));
+  const auto pair_work = sparse::OuterProductPairWork(a, b);
+  ASSERT_EQ(w.pair_work.size(), pair_work.size());
+  for (size_t i = 0; i < pair_work.size(); ++i) {
+    EXPECT_EQ(w.pair_work[i], pair_work[i]) << "pair " << i;
+  }
+  const auto row_flops = sparse::SpGemmRowFlops(a, b);
+  for (size_t r = 0; r < row_flops.size(); ++r) {
+    EXPECT_EQ(w.row_chat[r], row_flops[r]) << "row " << r;
+  }
+}
+
+TEST(WorkloadTest, RowChatSumsToFlops) {
+  const CsrMatrix a = testing_util::RandomMatrix(90, 110, 0.05, 5);
+  const CsrMatrix b = testing_util::RandomMatrix(110, 70, 0.05, 6);
+  const Workload w = BuildWorkload(a, b);
+  const int64_t sum =
+      std::accumulate(w.row_chat.begin(), w.row_chat.end(), int64_t{0});
+  EXPECT_EQ(sum, w.flops);
+}
+
+TEST(WorkloadTest, OutputEstimateBracketsExact) {
+  const CsrMatrix a = testing_util::SkewedMatrix(200, 100, 9);
+  const Workload w = BuildWorkload(a, a);
+  auto exact = sparse::SpGemmExactOutputNnz(a, a);
+  ASSERT_TRUE(exact.ok());
+  // The hashing estimator should be within a factor of ~2 of truth and
+  // never exceed flops.
+  EXPECT_LE(w.output_nnz, w.flops);
+  EXPECT_GT(w.output_nnz, exact.value() / 2);
+  EXPECT_LT(w.output_nnz, exact.value() * 2);
+}
+
+TEST(MakePairBlockTest, SmallPairGetsWarp) {
+  PairBlockParams p;
+  p.col_nnz = 10;
+  p.row_nnz = 5;
+  const auto tb = MakePairBlock(p);
+  EXPECT_EQ(tb.threads, 32);
+  EXPECT_EQ(tb.effective_threads, 5);
+  EXPECT_EQ(tb.crit_ops, 10);
+  EXPECT_EQ(tb.useful_lane_ops, 50);
+  EXPECT_EQ(tb.warp_issue_ops, 10);
+}
+
+TEST(MakePairBlockTest, WideRowStripMines) {
+  PairBlockParams p;
+  p.col_nnz = 4;
+  p.row_nnz = 1000;  // > block size 256 -> 4 strips
+  const auto tb = MakePairBlock(p);
+  EXPECT_EQ(tb.threads, 256);
+  EXPECT_EQ(tb.effective_threads, 256);
+  EXPECT_EQ(tb.crit_ops, 16);  // 4 col elements * 4 strips
+  EXPECT_EQ(tb.useful_lane_ops, 4000);
+  EXPECT_EQ(tb.warp_issue_ops, 8 * 16);
+}
+
+TEST(MakePairBlockTest, SharedReadClampedToReads) {
+  PairBlockParams p;
+  p.col_nnz = 10;
+  p.row_nnz = 10;
+  p.shared_read_bytes = 1 << 20;
+  const auto tb = MakePairBlock(p);
+  EXPECT_EQ(tb.shared_read_bytes, tb.bytes_read);
+}
+
+TEST(MergeKernelsTest, BlocksCoverAllWork) {
+  const CsrMatrix a = testing_util::SkewedMatrix(300, 150, 11);
+  const Workload w = BuildWorkload(a, a);
+  const auto kernels = BuildMergeKernels(w, MergeOptions{});
+  ASSERT_EQ(kernels.size(), 1u);
+  int64_t covered = 0;
+  for (const auto& tb : kernels[0].blocks) covered += tb.useful_lane_ops;
+  EXPECT_EQ(covered, w.flops);
+}
+
+TEST(MergeKernelsTest, LimitingSplitsLongRows) {
+  const CsrMatrix a = testing_util::SkewedMatrix(300, 200, 13);
+  const Workload w = BuildWorkload(a, a);
+  // Threshold low enough to catch the hub rows.
+  MergeOptions options;
+  options.limit_row_threshold = 400;
+  options.extra_shared_mem_bytes = 4 * 6144;
+  const auto kernels = BuildMergeKernels(w, options);
+  ASSERT_EQ(kernels.size(), 2u);
+  EXPECT_EQ(kernels[1].label, "merge-limited");
+  EXPECT_FALSE(kernels[1].blocks.empty());
+  for (const auto& tb : kernels[1].blocks) {
+    EXPECT_GT(tb.useful_lane_ops, 400);
+    EXPECT_GE(tb.shared_mem_bytes, 4 * 6144);
+  }
+  // Work is conserved across the two kernels.
+  int64_t covered = 0;
+  for (const auto& k : kernels) {
+    for (const auto& tb : k.blocks) covered += tb.useful_lane_ops;
+  }
+  EXPECT_EQ(covered, w.flops);
+}
+
+TEST(MergeKernelsTest, SmallRowsBatchIntoFewBlocks) {
+  // 10000 rows of ~4 intermediate elements: block count must track work,
+  // not dimension.
+  sparse::CooMatrix coo(10000, 10000);
+  Rng rng(3);
+  for (int r = 0; r < 10000; ++r) {
+    for (int k = 0; k < 2; ++k) {
+      coo.Add(r, static_cast<sparse::Index>(rng.NextBounded(10000)), 1.0);
+    }
+  }
+  auto a = CsrMatrix::FromCoo(coo);
+  ASSERT_TRUE(a.ok());
+  const Workload w = BuildWorkload(*a, *a);
+  const auto kernels = BuildMergeKernels(w, MergeOptions{});
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_LT(kernels[0].blocks.size(), 500u);
+}
+
+TEST(MergeKernelsTest, WideOutputRowsUseGlobalAtomics) {
+  // A dense-ish row produces a wide output accumulator.
+  sparse::CooMatrix coo(3000, 3000);
+  // Row 0 is dense (wide output accumulator); the rest touch only column
+  // 1, whose row has a single entry (tiny accumulators).
+  for (int c = 0; c < 3000; ++c) coo.Add(0, c, 1.0);
+  for (int r = 1; r < 3000; ++r) coo.Add(r, 1, 1.0);
+  auto a = CsrMatrix::FromCoo(coo);
+  ASSERT_TRUE(a.ok());
+  const Workload w = BuildWorkload(*a, *a);
+  const auto kernels = BuildMergeKernels(w, MergeOptions{});
+  bool found_global = false;
+  bool found_shared = false;
+  for (const auto& k : kernels) {
+    for (const auto& tb : k.blocks) {
+      if (tb.atomics_in_shared) {
+        found_shared = true;
+      } else {
+        found_global = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_global);
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(RowExpansionTest, CoversAllWorkOnceEach) {
+  const CsrMatrix a = testing_util::SkewedMatrix(400, 300, 17);
+  const Workload w = BuildWorkload(a, a);
+  const auto kernel = BuildRowProductExpansion(w, RowExpansionOptions{});
+  int64_t covered = 0;
+  for (const auto& tb : kernel.blocks) covered += tb.useful_lane_ops;
+  EXPECT_EQ(covered, w.flops);
+}
+
+TEST(RowExpansionTest, OpsMultiplierScalesIssue) {
+  const CsrMatrix a = testing_util::RandomMatrix(100, 100, 0.05, 21);
+  const Workload w = BuildWorkload(a, a);
+  RowExpansionOptions base;
+  RowExpansionOptions doubled;
+  doubled.ops_multiplier = 2.0;
+  const auto k1 = BuildRowProductExpansion(w, base);
+  const auto k2 = BuildRowProductExpansion(w, doubled);
+  ASSERT_EQ(k1.blocks.size(), k2.blocks.size());
+  for (size_t i = 0; i < k1.blocks.size(); ++i) {
+    EXPECT_EQ(2 * k1.blocks[i].warp_issue_ops, k2.blocks[i].warp_issue_ops);
+  }
+}
+
+TEST(RowExpansionTest, RowOrderPermutesAssignment) {
+  const CsrMatrix a = testing_util::SkewedMatrix(256, 128, 23);
+  const Workload w = BuildWorkload(a, a);
+  std::vector<int64_t> order(w.row_chat.size());
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return w.row_chat[static_cast<size_t>(x)] <
+           w.row_chat[static_cast<size_t>(y)];
+  });
+  RowExpansionOptions opts;
+  opts.row_order = &order;
+  const auto sorted_kernel = BuildRowProductExpansion(w, opts);
+  const auto plain_kernel = BuildRowProductExpansion(w, RowExpansionOptions{});
+  int64_t sorted_work = 0, plain_work = 0;
+  int64_t sorted_issue = 0, plain_issue = 0;
+  for (const auto& tb : sorted_kernel.blocks) {
+    sorted_work += tb.useful_lane_ops;
+    sorted_issue += tb.warp_issue_ops;
+  }
+  for (const auto& tb : plain_kernel.blocks) {
+    plain_work += tb.useful_lane_ops;
+    plain_issue += tb.warp_issue_ops;
+  }
+  EXPECT_EQ(sorted_work, plain_work);
+  // Sorting similar rows into the same warp reduces lock-step waste.
+  EXPECT_LE(sorted_issue, plain_issue);
+}
+
+TEST(StreamingBlocksTest, BalancedAndSized) {
+  gpusim::KernelDesc kernel;
+  AppendBalancedStreamingBlocks(&kernel, 100000, 12, 2.0);
+  ASSERT_FALSE(kernel.blocks.empty());
+  int64_t bytes = 0;
+  for (const auto& tb : kernel.blocks) {
+    EXPECT_EQ(tb.threads, 256);
+    EXPECT_EQ(tb.effective_threads, 256);
+    bytes += tb.bytes_read;
+  }
+  EXPECT_EQ(bytes, 100000 * 12);
+}
+
+TEST(HostPreprocessTest, MonotoneInInputs) {
+  EXPECT_GT(HostPreprocessSeconds(1000, 0), HostPreprocessSeconds(0, 0));
+  EXPECT_GT(HostPreprocessSeconds(0, 1000), HostPreprocessSeconds(0, 0));
+  EXPECT_GT(HostPreprocessSeconds(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace spgemm
+}  // namespace spnet

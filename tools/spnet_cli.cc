@@ -1,0 +1,267 @@
+// Command-line front end for the library: multiply Matrix Market or SPNB
+// files with any of the seven algorithms, profile them on a simulated
+// device, classify workloads, and convert between formats.
+//
+// Usage:
+//   spnet_cli multiply --a A.mtx [--b B.mtx] [--algorithm reorganizer]
+//             [--out C.mtx] [--device titanxp] [--auto_tune]
+//   spnet_cli profile  --a A.mtx [--b B.mtx] [--device titanxp]
+//   spnet_cli classify --a A.mtx [--b B.mtx]
+//   spnet_cli convert  --in X.mtx --out X.spnb     (and back)
+//   spnet_cli generate --kind rmat|powerlaw|regular --out X.spnb
+//             [--scale 14] [--edges N] [--dim N] [--nnz N] [--skew S]
+//
+// Omitting --b computes C = A^2. Files ending in .spnb use the binary
+// container; anything else is treated as Matrix Market.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "common/timer.h"
+#include "core/auto_tune.h"
+#include "core/block_reorganizer.h"
+#include "core/suite.h"
+#include "datasets/generators.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/profiler.h"
+#include "metrics/report.h"
+#include "sparse/matrix_market.h"
+#include "sparse/serialization.h"
+#include "sparse/stats.h"
+#include "spgemm/algorithm.h"
+
+namespace spnet {
+namespace {
+
+using sparse::CsrMatrix;
+
+bool IsBinaryPath(const std::string& path) {
+  return path.size() > 5 && path.substr(path.size() - 5) == ".spnb";
+}
+
+Result<CsrMatrix> Load(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("missing input path");
+  }
+  return IsBinaryPath(path) ? sparse::ReadBinary(path)
+                            : sparse::ReadMatrixMarket(path);
+}
+
+Status Store(const CsrMatrix& m, const std::string& path) {
+  return IsBinaryPath(path) ? sparse::WriteBinary(m, path)
+                            : sparse::WriteMatrixMarket(m, path);
+}
+
+gpusim::DeviceSpec DeviceFromFlags(const FlagParser& flags) {
+  const std::string name = flags.GetString("device", "titanxp");
+  if (name == "v100") return gpusim::DeviceSpec::TeslaV100();
+  if (name == "2080ti") return gpusim::DeviceSpec::Rtx2080Ti();
+  return gpusim::DeviceSpec::TitanXp();
+}
+
+Result<std::unique_ptr<spgemm::SpGemmAlgorithm>> AlgorithmFromFlags(
+    const FlagParser& flags, const CsrMatrix& a, const CsrMatrix& b,
+    const gpusim::DeviceSpec& device) {
+  const std::string name = flags.GetString("algorithm", "reorganizer");
+  if (name == "row" || name == "row-product") return spgemm::MakeRowProduct();
+  if (name == "outer" || name == "outer-product") {
+    return spgemm::MakeOuterProduct();
+  }
+  if (name == "cusparse") return spgemm::MakeCusparseLike();
+  if (name == "cusp") return spgemm::MakeCuspLike();
+  if (name == "bhsparse") return spgemm::MakeBhsparseLike();
+  if (name == "mkl") return spgemm::MakeMklLike();
+  if (name == "reorganizer") {
+    core::ReorganizerConfig config;
+    if (flags.GetBool("auto_tune", false)) {
+      SPNET_ASSIGN_OR_RETURN(config, core::AutoTune(a, b, device));
+      std::printf("auto-tuned: alpha=%.1f beta=%.1f\n", config.alpha,
+                  config.beta);
+    }
+    config.alpha = flags.GetDouble("alpha", config.alpha);
+    config.beta = flags.GetDouble("beta", config.beta);
+    return {core::MakeBlockReorganizer(config)};
+  }
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdMultiply(const FlagParser& flags) {
+  auto a = Load(flags.GetString("a", ""));
+  if (!a.ok()) return Fail(a.status());
+  Result<CsrMatrix> b = flags.Has("b") ? Load(flags.GetString("b", ""))
+                                       : Result<CsrMatrix>(*a);
+  if (!b.ok()) return Fail(b.status());
+  const gpusim::DeviceSpec device = DeviceFromFlags(flags);
+  auto algorithm = AlgorithmFromFlags(flags, *a, *b, device);
+  if (!algorithm.ok()) return Fail(algorithm.status());
+
+  Timer timer;
+  auto c = (*algorithm)->Compute(*a, *b);
+  if (!c.ok()) return Fail(c.status());
+  std::printf("C: %d x %d, %lld nonzeros (host compute %.3f s)\n", c->rows(),
+              c->cols(), static_cast<long long>(c->nnz()), timer.Seconds());
+
+  auto m = spgemm::Measure(**algorithm, *a, *b, device);
+  if (!m.ok()) return Fail(m.status());
+  std::printf("simulated %s: %.3f ms (%.1f GFLOPS)\n", device.name.c_str(),
+              m->total_seconds * 1e3, m->Gflops());
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    const Status s = Store(*c, out);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdProfile(const FlagParser& flags) {
+  auto a = Load(flags.GetString("a", ""));
+  if (!a.ok()) return Fail(a.status());
+  Result<CsrMatrix> b = flags.Has("b") ? Load(flags.GetString("b", ""))
+                                       : Result<CsrMatrix>(*a);
+  if (!b.ok()) return Fail(b.status());
+  const gpusim::DeviceSpec device = DeviceFromFlags(flags);
+
+  metrics::Table table({"algorithm", "total ms", "expansion ms", "merge ms",
+                        "GFLOPS", "stall %", "LBI"});
+  for (const auto& alg : core::MakeAllAlgorithms()) {
+    auto m = spgemm::Measure(*alg, *a, *b, device);
+    if (!m.ok()) return Fail(m.status());
+    table.AddRow({alg->name(), metrics::FormatDouble(m->total_seconds * 1e3, 3),
+                  metrics::FormatDouble(m->expansion.seconds * 1e3, 3),
+                  metrics::FormatDouble(m->merge.seconds * 1e3, 3),
+                  metrics::FormatDouble(m->Gflops(), 1),
+                  metrics::FormatDouble(100.0 * m->stats.SyncStallFraction(), 1),
+                  metrics::FormatDouble(m->expansion.Lbi())});
+  }
+  std::printf("profile on simulated %s:\n%s", device.name.c_str(),
+              table.ToString().c_str());
+
+  if (flags.GetBool("detail", false)) {
+    // nvprof-style per-kernel report + SM histogram for the reorganizer.
+    core::BlockReorganizerSpGemm reorganizer;
+    auto plan = reorganizer.Plan(*a, *b, device);
+    if (!plan.ok()) return Fail(plan.status());
+    gpusim::Profiler profiler(device);
+    const Status s = profiler.Profile(plan->kernels);
+    if (!s.ok()) return Fail(s);
+    std::printf("\nBlock Reorganizer kernel breakdown:\n%s",
+                profiler.ReportTable().c_str());
+    for (size_t i = 0; i < profiler.profiles().size(); ++i) {
+      if (profiler.profiles()[i].label == "expansion-dominators") {
+        std::printf("\nper-SM load of %s (busiest first):\n%s",
+                    profiler.profiles()[i].label.c_str(),
+                    profiler.SmHistogram(i).c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdClassify(const FlagParser& flags) {
+  auto a = Load(flags.GetString("a", ""));
+  if (!a.ok()) return Fail(a.status());
+  Result<CsrMatrix> b = flags.Has("b") ? Load(flags.GetString("b", ""))
+                                       : Result<CsrMatrix>(*a);
+  if (!b.ok()) return Fail(b.status());
+
+  const auto stats = sparse::ComputeRowStats(*a);
+  std::printf("A: %d x %d, %lld nnz, mean degree %.1f, max %lld, gini %.2f\n",
+              a->rows(), a->cols(), static_cast<long long>(a->nnz()),
+              stats.mean_nnz, static_cast<long long>(stats.max_nnz),
+              stats.gini);
+
+  core::BlockReorganizerSpGemm reorganizer;
+  auto report = reorganizer.Analyze(*a, *b, DeviceFromFlags(flags));
+  if (!report.ok()) return Fail(report.status());
+  std::printf("pairs: %lld total | %lld dominators | %lld low performers | "
+              "%lld normal\n",
+              static_cast<long long>(report->nonzero_pairs),
+              static_cast<long long>(report->dominators),
+              static_cast<long long>(report->low_performers),
+              static_cast<long long>(report->normals));
+  std::printf("B-Splitting fragments: %lld, B-Gathering combined blocks: "
+              "%lld, B-Limiting rows: %lld\n",
+              static_cast<long long>(report->fragments),
+              static_cast<long long>(report->combined_blocks),
+              static_cast<long long>(report->limited_rows));
+  return 0;
+}
+
+int CmdConvert(const FlagParser& flags) {
+  auto m = Load(flags.GetString("in", ""));
+  if (!m.ok()) return Fail(m.status());
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return Fail(Status::InvalidArgument("missing --out"));
+  const Status s = Store(*m, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s (%d x %d, %lld nnz)\n", out.c_str(), m->rows(),
+              m->cols(), static_cast<long long>(m->nnz()));
+  return 0;
+}
+
+int CmdGenerate(const FlagParser& flags) {
+  const std::string kind = flags.GetString("kind", "rmat");
+  Result<CsrMatrix> m = Status::InvalidArgument("unknown kind: " + kind);
+  if (kind == "rmat") {
+    datasets::RmatParams p;
+    p.scale = static_cast<int>(flags.GetInt("scale", 14));
+    p.edge_count = flags.GetInt("edges", 16 << 14);
+    p.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    m = datasets::GenerateRmat(p);
+  } else if (kind == "powerlaw") {
+    datasets::PowerLawParams p;
+    p.rows = p.cols = static_cast<sparse::Index>(flags.GetInt("dim", 100000));
+    p.nnz = flags.GetInt("nnz", 8 * flags.GetInt("dim", 100000));
+    p.row_skew = p.col_skew = flags.GetDouble("skew", 0.8);
+    p.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    m = datasets::GeneratePowerLaw(p);
+  } else if (kind == "regular") {
+    datasets::QuasiRegularParams p;
+    p.n = static_cast<sparse::Index>(flags.GetInt("dim", 100000));
+    p.nnz = flags.GetInt("nnz", 25 * flags.GetInt("dim", 100000));
+    p.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    m = datasets::GenerateQuasiRegular(p);
+  }
+  if (!m.ok()) return Fail(m.status());
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return Fail(Status::InvalidArgument("missing --out"));
+  const Status s = Store(*m, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("generated %s: %d x %d, %lld nnz\n", out.c_str(), m->rows(),
+              m->cols(), static_cast<long long>(m->nnz()));
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: spnet_cli <multiply|profile|classify|convert|generate>"
+               " [flags]\n(see the header comment of tools/spnet_cli.cc)\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv).ok()) return Usage();
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (command == "multiply") return CmdMultiply(flags);
+  if (command == "profile") return CmdProfile(flags);
+  if (command == "classify") return CmdClassify(flags);
+  if (command == "convert") return CmdConvert(flags);
+  if (command == "generate") return CmdGenerate(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace spnet
+
+int main(int argc, char** argv) { return spnet::Run(argc, argv); }
