@@ -7,6 +7,7 @@
 
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "datasets/cache.h"
 #include "datasets/registry.h"
 #include "gpusim/device_spec.h"
@@ -23,11 +24,17 @@ namespace bench {
 ///   --device=<s>   titanxp | v100 | 2080ti
 ///   --seed=<n>     generator seed
 ///   --csv          emit CSV instead of aligned tables
+///   --threads=<n>  host threads for the functional expansion/merge stack
+///                  (default: hardware concurrency; 1 = historical serial
+///                  path; affects host wall-clock only, never simulated
+///                  cycles or results)
 struct BenchOptions {
   double scale = 0.25;
   uint64_t seed = 42;
   std::string device_name = "titanxp";
   bool csv = false;
+  /// Host thread count for the functional stack; 0 = hardware concurrency.
+  int threads = 0;
   /// When set (--cache=<dir>), generated datasets are cached on disk as
   /// binary .spnb files and reloaded on later runs.
   std::string cache_dir;
@@ -41,7 +48,9 @@ struct BenchOptions {
     o.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     o.device_name = flags.GetString("device", o.device_name);
     o.csv = flags.GetBool("csv", false);
+    o.threads = static_cast<int>(flags.GetInt("threads", 0));
     o.cache_dir = flags.GetString("cache", "");
+    SetGlobalThreadCount(o.threads);
     return o;
   }
 

@@ -1,0 +1,202 @@
+#include "common/parallel.h"
+
+#include <limits>
+
+namespace spnet {
+
+namespace {
+
+/// Worker identity of the current thread within its pool; 0 on the main
+/// thread and on any thread that never joined a pool. Used to route nested
+/// ParallelFor calls inline while keeping a stable scratch index.
+thread_local int tls_thread_index = 0;
+/// True while the current thread is executing a chunk; nested ParallelFor
+/// calls detect this and run inline to avoid self-deadlock.
+thread_local bool tls_in_chunk = false;
+
+int ResolveThreadCount(int threads) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return threads;
+}
+
+}  // namespace
+
+struct ThreadPool::Job {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  const ChunkFn* fn = nullptr;
+  ThreadPool* pool = nullptr;
+
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> chunks_done{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex error_mu;
+  int64_t error_chunk = std::numeric_limits<int64_t>::max();
+  Status error_status;  // guarded by error_mu
+};
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = ResolveThreadCount(threads);
+  workers_.reserve(static_cast<size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunks(Job* job, int thread_index) {
+  const int saved_index = tls_thread_index;
+  const bool saved_in_chunk = tls_in_chunk;
+  tls_thread_index = thread_index;
+  tls_in_chunk = true;
+  while (true) {
+    const int64_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->num_chunks) break;
+    // Once any chunk failed, later chunks are claimed but not executed;
+    // they still count as done so the submitter's wait terminates.
+    if (!job->failed.load(std::memory_order_acquire)) {
+      const int64_t b = job->begin + c * job->grain;
+      const int64_t e = std::min(job->end, b + job->grain);
+      Status s = (*job->fn)(b, e, thread_index);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(job->error_mu);
+        if (c < job->error_chunk) {
+          job->error_chunk = c;
+          job->error_status = std::move(s);
+        }
+        job->failed.store(true, std::memory_order_release);
+      }
+    }
+    if (job->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->num_chunks) {
+      job->pool->NotifyJobDone();
+    }
+  }
+  tls_thread_index = saved_index;
+  tls_in_chunk = saved_in_chunk;
+}
+
+void ThreadPool::NotifyJobDone() {
+  // Lock/unlock pairs the notification with the submitter's predicate
+  // check so the wakeup cannot be lost.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  done_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || job_generation_ != seen_generation;
+    });
+    if (stop_) return;
+    seen_generation = job_generation_;
+    std::shared_ptr<Job> job = job_;
+    if (!job) continue;
+    lock.unlock();
+    RunChunks(job.get(), worker_index);
+    lock.lock();
+  }
+}
+
+Status ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                               const ChunkFn& fn) {
+  if (end <= begin) return Status::Ok();
+  if (grain < 1) grain = 1;
+  const int64_t num_chunks = CeilDiv(end - begin, grain);
+
+  // Inline path: 1-thread pools, single-chunk ranges, and nested calls
+  // (a chunk function invoking ParallelFor again). Stops at the first
+  // error, matching the historical serial behavior exactly.
+  if (workers_.empty() || num_chunks == 1 || tls_in_chunk) {
+    const bool saved_in_chunk = tls_in_chunk;
+    tls_in_chunk = true;
+    Status status;
+    for (int64_t b = begin; b < end && status.ok(); b += grain) {
+      status = fn(b, std::min(end, b + grain), tls_thread_index);
+    }
+    tls_in_chunk = saved_in_chunk;
+    return status;
+  }
+
+  // One top-level job at a time; concurrent submitters queue here.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+  job->pool = this;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+
+  // The submitting thread participates as index 0.
+  RunChunks(job.get(), 0);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->chunks_done.load(std::memory_order_acquire) ==
+             job->num_chunks;
+    });
+    job_.reset();
+  }
+
+  if (job->failed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(job->error_mu);
+    return job->error_status;
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+std::mutex g_global_pool_mu;
+std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_pool_mu
+int g_requested_threads = 0;                // guarded by g_global_pool_mu
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(g_requested_threads);
+  }
+  return *g_global_pool;
+}
+
+void SetGlobalThreadCount(int threads) {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  g_requested_threads = threads;
+  g_global_pool.reset();
+}
+
+int GlobalThreadCount() {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  if (g_global_pool) return g_global_pool->threads();
+  return ResolveThreadCount(g_requested_threads);
+}
+
+}  // namespace spnet

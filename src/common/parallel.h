@@ -1,0 +1,143 @@
+#ifndef SPNET_COMMON_PARALLEL_H_
+#define SPNET_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace spnet {
+
+/// A fixed-size host thread pool for the functional (CPU) side of the
+/// pipeline. Work is distributed by chunk stealing: a ParallelFor call
+/// splits its range into grain-sized chunks and every participating thread
+/// (the N-1 workers plus the calling thread) claims chunks through one
+/// atomic cursor until the range is drained. There are no per-thread
+/// deques to steal from — the shared cursor is the whole scheduler — which
+/// keeps the pool tiny and makes chunk execution order irrelevant to the
+/// result as long as callers keep chunks independent.
+///
+/// The pool is exception-free like the rest of the library: chunk
+/// functions report through Status, and ParallelFor returns the failure
+/// with the lowest chunk index among those that ran (remaining chunks are
+/// skipped once any failure is observed).
+///
+/// Nested ParallelFor calls from inside a chunk run inline on the calling
+/// thread (serial), so composing parallel helpers cannot deadlock.
+class ThreadPool {
+ public:
+  /// Creates the pool; `threads` <= 0 selects std::thread::hardware_concurrency.
+  /// A pool of 1 runs everything inline on the caller with no workers.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total participating threads (workers + the calling thread).
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Chunk function: processes [chunk_begin, chunk_end). `thread_index` is
+  /// in [0, threads()) and is stable for the duration of the chunk — use it
+  /// to index per-thread scratch. The calling thread participates as
+  /// index 0.
+  using ChunkFn = std::function<Status(int64_t chunk_begin, int64_t chunk_end,
+                                       int thread_index)>;
+
+  /// Runs `fn` over [begin, end) in chunks of `grain` (clamped to >= 1).
+  /// Empty ranges return Ok without invoking `fn`. Single-chunk ranges,
+  /// 1-thread pools and nested calls run inline on the caller.
+  Status ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const ChunkFn& fn);
+
+  /// Map-reduce over [begin, end): `map(chunk_begin, chunk_end, thread)`
+  /// produces one partial per chunk; partials are combined *in chunk
+  /// order* on the calling thread, so the result is deterministic for any
+  /// thread count even when `combine` is not commutative.
+  template <typename T, typename MapFn, typename CombineFn>
+  T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T init,
+                   const MapFn& map, const CombineFn& combine) {
+    if (end <= begin) return init;
+    if (grain < 1) grain = 1;
+    const int64_t num_chunks = CeilDiv(end - begin, grain);
+    std::vector<T> partials(static_cast<size_t>(num_chunks), init);
+    ParallelFor(begin, end, grain,
+                [&](int64_t b, int64_t e, int thread_index) {
+                  partials[static_cast<size_t>((b - begin) / grain)] =
+                      map(b, e, thread_index);
+                  return Status::Ok();
+                });
+    T acc = std::move(init);
+    for (T& p : partials) acc = combine(std::move(acc), std::move(p));
+    return acc;
+  }
+
+ private:
+  struct Job;
+
+  void WorkerLoop(int worker_index);
+  /// Claims and runs chunks of `job` until the cursor is exhausted.
+  static void RunChunks(Job* job, int thread_index);
+  void NotifyJobDone();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait here for a job
+  std::condition_variable done_cv_;  ///< the submitter waits here
+  std::shared_ptr<Job> job_;         ///< guarded by mu_
+  uint64_t job_generation_ = 0;      ///< guarded by mu_
+  bool stop_ = false;                ///< guarded by mu_
+  std::mutex submit_mu_;  ///< serializes concurrent top-level submitters
+};
+
+/// The process-wide pool used by the functional spGEMM stack. Created
+/// lazily with the count last requested via SetGlobalThreadCount (default:
+/// hardware concurrency). Intended to be configured once at startup (the
+/// `--threads` flag); reconfiguring while parallel work is in flight is a
+/// caller error.
+ThreadPool& GlobalThreadPool();
+
+/// Sets the thread count of the global pool; <= 0 restores the hardware
+/// default. Takes effect on the next GlobalThreadPool() call (the old pool
+/// is torn down here).
+void SetGlobalThreadCount(int threads);
+
+/// Thread count the global pool has (or will be created with).
+int GlobalThreadCount();
+
+/// Convenience wrappers over GlobalThreadPool().
+inline Status ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                          const ThreadPool::ChunkFn& fn) {
+  return GlobalThreadPool().ParallelFor(begin, end, grain, fn);
+}
+
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T init,
+                 const MapFn& map, const CombineFn& combine) {
+  return GlobalThreadPool().ParallelReduce(begin, end, grain, std::move(init),
+                                           map, combine);
+}
+
+/// Grain size splitting `n` items into a few chunks per thread, so chunk
+/// stealing can still balance skewed per-item cost.
+inline int64_t GrainForItems(int64_t n, int threads) {
+  return std::max<int64_t>(1, CeilDiv(n, static_cast<int64_t>(threads) * 8));
+}
+
+/// Grain size producing exactly `threads` contiguous chunks — the shape
+/// the count-scan-scatter passes need (one histogram per chunk).
+inline int64_t GrainForChunkPerThread(int64_t n, int threads) {
+  return std::max<int64_t>(1, CeilDiv(n, threads));
+}
+
+}  // namespace spnet
+
+#endif  // SPNET_COMMON_PARALLEL_H_

@@ -2,19 +2,49 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace spnet {
 namespace core {
 
 using sparse::Index;
 
+namespace {
+
+/// Per-chunk classification buckets; concatenated in chunk order so the
+/// parallel classification emits pairs in exactly the serial order.
+struct ChunkBuckets {
+  std::vector<Index> dominators;
+  std::vector<Index> low_performers;
+  std::vector<Index> normals;
+  std::vector<Index> limited_rows;
+};
+
+void AppendTo(std::vector<Index>* out, const std::vector<Index>& chunk) {
+  out->insert(out->end(), chunk.begin(), chunk.end());
+}
+
+}  // namespace
+
 Classification Classify(const spgemm::Workload& workload,
                         const ReorganizerConfig& config) {
   Classification c;
+  ThreadPool& pool = GlobalThreadPool();
+  const int64_t pairs = static_cast<int64_t>(workload.pair_work.size());
+  const int64_t rows = static_cast<int64_t>(workload.row_chat.size());
+  const int64_t pair_grain = GrainForItems(pairs, pool.threads());
+  const int64_t row_grain = GrainForItems(rows, pool.threads());
 
-  int64_t nonzero_pairs = 0;
-  for (int64_t w : workload.pair_work) {
-    if (w > 0) ++nonzero_pairs;
-  }
+  const int64_t nonzero_pairs = pool.ParallelReduce(
+      0, pairs, pair_grain, int64_t{0},
+      [&](int64_t begin, int64_t end, int) {
+        int64_t n = 0;
+        for (int64_t i = begin; i < end; ++i) {
+          if (workload.pair_work[static_cast<size_t>(i)] > 0) ++n;
+        }
+        return n;
+      },
+      [](int64_t acc, int64_t partial) { return acc + partial; });
   const double mean_pair_work =
       nonzero_pairs > 0
           ? static_cast<double>(workload.flops) /
@@ -23,34 +53,69 @@ Classification Classify(const spgemm::Workload& workload,
   c.dominator_threshold = std::max<int64_t>(
       1, static_cast<int64_t>(config.alpha * mean_pair_work));
 
-  for (size_t i = 0; i < workload.pair_work.size(); ++i) {
-    const int64_t work = workload.pair_work[i];
-    if (work == 0) continue;
-    const Index pair = static_cast<Index>(i);
-    if (work > c.dominator_threshold) {
-      c.dominators.push_back(pair);
-    } else if (workload.b_row_nnz[i] < 32) {
-      c.low_performers.push_back(pair);
-    } else {
-      c.normals.push_back(pair);
-    }
-  }
-
-  int64_t nonzero_rows = 0;
-  for (int64_t v : workload.row_chat) {
-    if (v > 0) ++nonzero_rows;
-  }
+  const int64_t nonzero_rows = pool.ParallelReduce(
+      0, rows, row_grain, int64_t{0},
+      [&](int64_t begin, int64_t end, int) {
+        int64_t n = 0;
+        for (int64_t r = begin; r < end; ++r) {
+          if (workload.row_chat[static_cast<size_t>(r)] > 0) ++n;
+        }
+        return n;
+      },
+      [](int64_t acc, int64_t partial) { return acc + partial; });
   const double mean_row_chat =
       nonzero_rows > 0 ? static_cast<double>(workload.flops) /
                              static_cast<double>(nonzero_rows)
                        : 0.0;
   c.limit_row_threshold = std::max<int64_t>(
       1, static_cast<int64_t>(config.beta * mean_row_chat));
-  for (size_t r = 0; r < workload.row_chat.size(); ++r) {
-    if (workload.row_chat[r] > c.limit_row_threshold) {
-      c.limited_rows.push_back(static_cast<Index>(r));
-    }
-  }
+
+  // Bucket the pairs and rows chunk-locally, then concatenate the chunks
+  // in range order — the same sequence the serial scan produced.
+  ChunkBuckets buckets = pool.ParallelReduce(
+      0, pairs, pair_grain, ChunkBuckets{},
+      [&](int64_t begin, int64_t end, int) {
+        ChunkBuckets local;
+        for (int64_t i = begin; i < end; ++i) {
+          const int64_t work = workload.pair_work[static_cast<size_t>(i)];
+          if (work == 0) continue;
+          const Index pair = static_cast<Index>(i);
+          if (work > c.dominator_threshold) {
+            local.dominators.push_back(pair);
+          } else if (workload.b_row_nnz[static_cast<size_t>(i)] < 32) {
+            local.low_performers.push_back(pair);
+          } else {
+            local.normals.push_back(pair);
+          }
+        }
+        return local;
+      },
+      [](ChunkBuckets acc, ChunkBuckets partial) {
+        AppendTo(&acc.dominators, partial.dominators);
+        AppendTo(&acc.low_performers, partial.low_performers);
+        AppendTo(&acc.normals, partial.normals);
+        return acc;
+      });
+  c.dominators = std::move(buckets.dominators);
+  c.low_performers = std::move(buckets.low_performers);
+  c.normals = std::move(buckets.normals);
+
+  c.limited_rows = pool.ParallelReduce(
+      0, rows, row_grain, std::vector<Index>{},
+      [&](int64_t begin, int64_t end, int) {
+        std::vector<Index> local;
+        for (int64_t r = begin; r < end; ++r) {
+          if (workload.row_chat[static_cast<size_t>(r)] >
+              c.limit_row_threshold) {
+            local.push_back(static_cast<Index>(r));
+          }
+        }
+        return local;
+      },
+      [](std::vector<Index> acc, std::vector<Index> partial) {
+        AppendTo(&acc, partial);
+        return acc;
+      });
   return c;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <string>
 
+#include "common/parallel.h"
+
 namespace spnet {
 namespace sparse {
 
@@ -51,22 +53,84 @@ CsrMatrix CsrMatrix::Transpose() const {
   t.indices_.resize(indices_.size());
   t.values_.resize(values_.size());
 
-  // Count entries per column, then prefix-sum into pointers.
-  for (Index c : indices_) t.ptr_[static_cast<size_t>(c) + 1]++;
-  for (size_t c = 0; c < static_cast<size_t>(cols_); ++c) {
-    t.ptr_[c + 1] += t.ptr_[c];
+  ThreadPool& pool = GlobalThreadPool();
+  if (pool.threads() == 1 || rows_ == 0) {
+    // Count entries per column, then prefix-sum into pointers.
+    for (Index c : indices_) t.ptr_[static_cast<size_t>(c) + 1]++;
+    for (size_t c = 0; c < static_cast<size_t>(cols_); ++c) {
+      t.ptr_[c + 1] += t.ptr_[c];
+    }
+    // Scatter. `cursor` tracks the next free slot per output row; rows of
+    // the transpose come out sorted because we scan input rows in order.
+    std::vector<Offset> cursor(t.ptr_.begin(), t.ptr_.end() - 1);
+    for (Index r = 0; r < rows_; ++r) {
+      for (Offset k = ptr_[r]; k < ptr_[r + 1]; ++k) {
+        const Index c = indices_[static_cast<size_t>(k)];
+        const Offset slot = cursor[static_cast<size_t>(c)]++;
+        t.indices_[static_cast<size_t>(slot)] = r;
+        t.values_[static_cast<size_t>(slot)] = values_[static_cast<size_t>(k)];
+      }
+    }
+    return t;
   }
-  // Scatter. `cursor` tracks the next free slot per output row; rows of the
-  // transpose come out sorted because we scan input rows in order.
-  std::vector<Offset> cursor(t.ptr_.begin(), t.ptr_.end() - 1);
-  for (Index r = 0; r < rows_; ++r) {
-    for (Offset k = ptr_[r]; k < ptr_[r + 1]; ++k) {
-      const Index c = indices_[static_cast<size_t>(k)];
-      const Offset slot = cursor[static_cast<size_t>(c)]++;
-      t.indices_[static_cast<size_t>(slot)] = r;
-      t.values_[static_cast<size_t>(slot)] = values_[static_cast<size_t>(k)];
+
+  // Parallel count-scan-scatter over contiguous row chunks (one histogram
+  // per chunk). The serial scatter order within a column is input-row
+  // order; reserving each chunk its exact sub-range per column reproduces
+  // that layout bit-for-bit for any thread count.
+  const int64_t grain = GrainForChunkPerThread(rows_, pool.threads());
+  const int64_t num_chunks = CeilDiv(rows_, grain);
+  std::vector<std::vector<Offset>> chunk_counts(
+      static_cast<size_t>(num_chunks));
+
+  pool.ParallelFor(0, rows_, grain,
+                   [&](int64_t row_begin, int64_t row_end, int) {
+                     std::vector<Offset>& counts =
+                         chunk_counts[static_cast<size_t>(row_begin / grain)];
+                     counts.assign(static_cast<size_t>(cols_), 0);
+                     for (int64_t r = row_begin; r < row_end; ++r) {
+                       for (Offset k = ptr_[static_cast<size_t>(r)];
+                            k < ptr_[static_cast<size_t>(r) + 1]; ++k) {
+                         counts[static_cast<size_t>(
+                             indices_[static_cast<size_t>(k)])]++;
+                       }
+                     }
+                     return Status::Ok();
+                   });
+
+  // Scan: column totals into pointers, then per-chunk starting cursors
+  // (chunk k writes column c at ptr[c] + sum of earlier chunks' counts).
+  std::vector<std::vector<Offset>> chunk_cursor(
+      static_cast<size_t>(num_chunks),
+      std::vector<Offset>(static_cast<size_t>(cols_)));
+  Offset running = 0;
+  for (size_t c = 0; c < static_cast<size_t>(cols_); ++c) {
+    t.ptr_[c] = running;
+    for (size_t k = 0; k < static_cast<size_t>(num_chunks); ++k) {
+      chunk_cursor[k][c] = running;
+      running += chunk_counts[k][c];
     }
   }
+  t.ptr_[static_cast<size_t>(cols_)] = running;
+
+  // Scatter, same chunking as the count pass.
+  pool.ParallelFor(0, rows_, grain,
+                   [&](int64_t row_begin, int64_t row_end, int) {
+                     std::vector<Offset>& cursor =
+                         chunk_cursor[static_cast<size_t>(row_begin / grain)];
+                     for (int64_t r = row_begin; r < row_end; ++r) {
+                       for (Offset k = ptr_[static_cast<size_t>(r)];
+                            k < ptr_[static_cast<size_t>(r) + 1]; ++k) {
+                         const Index c = indices_[static_cast<size_t>(k)];
+                         const Offset slot = cursor[static_cast<size_t>(c)]++;
+                         t.indices_[static_cast<size_t>(slot)] =
+                             static_cast<Index>(r);
+                         t.values_[static_cast<size_t>(slot)] =
+                             values_[static_cast<size_t>(k)];
+                       }
+                     }
+                     return Status::Ok();
+                   });
   return t;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace spnet {
 namespace sparse {
 
@@ -61,14 +63,19 @@ int64_t SpGemmFlops(const CsrMatrix& a, const CsrMatrix& b) {
 
 std::vector<int64_t> SpGemmRowFlops(const CsrMatrix& a, const CsrMatrix& b) {
   std::vector<int64_t> flops(static_cast<size_t>(a.rows()), 0);
-  for (Index r = 0; r < a.rows(); ++r) {
-    const SpanView row = a.Row(r);
-    int64_t f = 0;
-    for (Offset k = 0; k < row.size; ++k) {
-      f += b.RowNnz(row.indices[k]);
-    }
-    flops[static_cast<size_t>(r)] = f;
-  }
+  // Each row's count is independent, so the rows parallelize trivially.
+  ParallelFor(0, a.rows(), GrainForItems(a.rows(), GlobalThreadCount()),
+              [&](int64_t row_begin, int64_t row_end, int) {
+                for (int64_t r = row_begin; r < row_end; ++r) {
+                  const SpanView row = a.Row(static_cast<Index>(r));
+                  int64_t f = 0;
+                  for (Offset k = 0; k < row.size; ++k) {
+                    f += b.RowNnz(row.indices[k]);
+                  }
+                  flops[static_cast<size_t>(r)] = f;
+                }
+                return Status::Ok();
+              });
   return flops;
 }
 

@@ -1,8 +1,11 @@
 #include "spgemm/functional.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
+#include "sparse/row_scratch.h"
 #include "sparse/stats.h"
 
 namespace spnet {
@@ -12,6 +15,8 @@ using sparse::CscMatrix;
 using sparse::CsrMatrix;
 using sparse::Index;
 using sparse::Offset;
+using sparse::RowScratch;
+using sparse::RowScratchArena;
 using sparse::SpanView;
 using sparse::Value;
 
@@ -26,28 +31,89 @@ Status CheckDims(const CsrMatrix& a, const CsrMatrix& b) {
   return Status::Ok();
 }
 
-/// Merges an intermediate element range [begin, end) of (col, val) pairs
-/// into the output arrays using a dense accumulator; emits in first-touch
-/// order (unordered CSR).
-void MergeRange(const Index* cols, const Value* vals, Offset count,
-                std::vector<Value>* acc, std::vector<bool>* touched,
-                std::vector<Index>* scratch, std::vector<Index>* out_idx,
-                std::vector<Value>* out_val) {
-  scratch->clear();
+/// Merges an intermediate element range [0, count) of (col, val) pairs
+/// into `out_idx`/`out_val` using the dense accumulator in `s`; emits in
+/// first-touch order (unordered CSR). Returns the number of merged
+/// entries. The caller guarantees the output slice can hold them.
+Offset MergeRangeInto(const Index* cols, const Value* vals, Offset count,
+                      RowScratch* s, Index* out_idx, Value* out_val) {
   for (Offset k = 0; k < count; ++k) {
     const Index c = cols[k];
-    if (!(*touched)[static_cast<size_t>(c)]) {
-      (*touched)[static_cast<size_t>(c)] = true;
-      scratch->push_back(c);
+    if (!s->touched[static_cast<size_t>(c)]) {
+      s->touched[static_cast<size_t>(c)] = 1;
+      s->touched_cols.push_back(c);
     }
-    (*acc)[static_cast<size_t>(c)] += vals[k];
+    s->acc[static_cast<size_t>(c)] += vals[k];
   }
-  for (Index c : *scratch) {
-    out_idx->push_back(c);
-    out_val->push_back((*acc)[static_cast<size_t>(c)]);
-    (*acc)[static_cast<size_t>(c)] = 0.0;
-    (*touched)[static_cast<size_t>(c)] = false;
+  const Offset merged = static_cast<Offset>(s->touched_cols.size());
+  Offset slot = 0;
+  for (Index c : s->touched_cols) {
+    out_idx[static_cast<size_t>(slot)] = c;
+    out_val[static_cast<size_t>(slot)] = s->acc[static_cast<size_t>(c)];
+    ++slot;
   }
+  s->ResetTouched();
+  return merged;
+}
+
+/// Number of distinct columns in an intermediate element range (the
+/// symbolic half of MergeRangeInto).
+Offset CountDistinct(const Index* cols, Offset count, RowScratch* s) {
+  for (Offset k = 0; k < count; ++k) {
+    const Index c = cols[k];
+    if (!s->touched[static_cast<size_t>(c)]) {
+      s->touched[static_cast<size_t>(c)] = 1;
+      s->touched_cols.push_back(c);
+    }
+  }
+  const Offset distinct = static_cast<Offset>(s->touched_cols.size());
+  s->ResetTouched();
+  return distinct;
+}
+
+/// Expands row r of A*B into `exp_cols`/`exp_vals` (cleared first). The
+/// append order — A's row entries in column order, each times B's row in
+/// column order — is also the order the outer product's column-major
+/// scatter fills this row's C-hat region, because A's sorted rows make
+/// both traversals visit the inner dimension in increasing order.
+void ExpandRow(const CsrMatrix& a, const CsrMatrix& b, Index r,
+               int64_t row_flops, std::vector<Index>* exp_cols,
+               std::vector<Value>* exp_vals) {
+  exp_cols->clear();
+  exp_vals->clear();
+  // Reserving the exact intermediate size (from SpGemmRowFlops) replaces
+  // the repeated push_back reallocation the serial code used to pay.
+  exp_cols->reserve(static_cast<size_t>(row_flops));
+  exp_vals->reserve(static_cast<size_t>(row_flops));
+  const SpanView arow = a.Row(r);
+  for (Offset k = 0; k < arow.size; ++k) {
+    const SpanView brow = b.Row(arow.indices[k]);
+    const Value av = arow.values[k];
+    for (Offset l = 0; l < brow.size; ++l) {
+      exp_cols->push_back(brow.indices[l]);
+      exp_vals->push_back(av * brow.values[l]);
+    }
+  }
+}
+
+/// Counts the distinct output columns of row r without materializing the
+/// expansion (pass 1 of the two-pass scheme).
+Offset SymbolicRowNnz(const CsrMatrix& a, const CsrMatrix& b, Index r,
+                      RowScratch* s) {
+  const SpanView arow = a.Row(r);
+  for (Offset k = 0; k < arow.size; ++k) {
+    const SpanView brow = b.Row(arow.indices[k]);
+    for (Offset l = 0; l < brow.size; ++l) {
+      const Index c = brow.indices[l];
+      if (!s->touched[static_cast<size_t>(c)]) {
+        s->touched[static_cast<size_t>(c)] = 1;
+        s->touched_cols.push_back(c);
+      }
+    }
+  }
+  const Offset distinct = static_cast<Offset>(s->touched_cols.size());
+  s->ResetTouched();
+  return distinct;
 }
 
 }  // namespace
@@ -57,36 +123,81 @@ Result<CsrMatrix> RowProductExpandMerge(const CsrMatrix& a,
   SPNET_RETURN_IF_ERROR(CheckDims(a, b));
   const Index rows = a.rows();
   const Index cols = b.cols();
+  ThreadPool& pool = GlobalThreadPool();
 
-  std::vector<Value> acc(static_cast<size_t>(cols), 0.0);
-  std::vector<bool> touched(static_cast<size_t>(cols), false);
-  std::vector<Index> scratch;
-
+  const std::vector<int64_t> row_flops = sparse::SpGemmRowFlops(a, b);
   std::vector<Offset> ptr(static_cast<size_t>(rows) + 1, 0);
-  std::vector<Index> out_idx;
-  std::vector<Value> out_val;
-  std::vector<Index> exp_cols;
-  std::vector<Value> exp_vals;
 
-  for (Index r = 0; r < rows; ++r) {
-    // Expansion: materialize this row's partial products.
-    exp_cols.clear();
-    exp_vals.clear();
-    const SpanView arow = a.Row(r);
-    for (Offset k = 0; k < arow.size; ++k) {
-      const SpanView brow = b.Row(arow.indices[k]);
-      const Value av = arow.values[k];
-      for (Offset l = 0; l < brow.size; ++l) {
-        exp_cols.push_back(brow.indices[l]);
-        exp_vals.push_back(av * brow.values[l]);
-      }
+  if (pool.threads() == 1) {
+    // Serial path: single pass, rows appended as they complete.
+    RowScratch s;
+    s.EnsureCols(cols);
+    std::vector<Index> out_idx;
+    std::vector<Value> out_val;
+    std::vector<Index> exp_cols;
+    std::vector<Value> exp_vals;
+    for (Index r = 0; r < rows; ++r) {
+      ExpandRow(a, b, r, row_flops[static_cast<size_t>(r)], &exp_cols,
+                &exp_vals);
+      const size_t base = out_idx.size();
+      out_idx.resize(base + exp_cols.size());
+      out_val.resize(base + exp_cols.size());
+      const Offset merged = MergeRangeInto(
+          exp_cols.data(), exp_vals.data(),
+          static_cast<Offset>(exp_cols.size()), &s, out_idx.data() + base,
+          out_val.data() + base);
+      out_idx.resize(base + static_cast<size_t>(merged));
+      out_val.resize(base + static_cast<size_t>(merged));
+      ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(out_idx.size());
     }
-    // Merge: row-wise dense accumulation.
-    MergeRange(exp_cols.data(), exp_vals.data(),
-               static_cast<Offset>(exp_cols.size()), &acc, &touched, &scratch,
-               &out_idx, &out_val);
-    ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(out_idx.size());
+    return CsrMatrix::FromParts(rows, cols, std::move(ptr),
+                                std::move(out_idx), std::move(out_val));
   }
+
+  // Parallel path: two-pass (size, scan, fill) with per-thread scratch.
+  // Every row is expanded and merged in the same element order as the
+  // serial path and written at a scan-fixed offset, so the result is
+  // bit-identical for any thread count.
+  const int64_t grain = GrainForItems(rows, pool.threads());
+  RowScratchArena arena(pool.threads(), cols);
+
+  pool.ParallelFor(0, rows, grain,
+                   [&](int64_t row_begin, int64_t row_end, int thread_index) {
+                     RowScratch& s = arena.at(thread_index);
+                     for (int64_t r = row_begin; r < row_end; ++r) {
+                       ptr[static_cast<size_t>(r) + 1] =
+                           SymbolicRowNnz(a, b, static_cast<Index>(r), &s);
+                     }
+                     return Status::Ok();
+                   });
+  for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
+    ptr[r + 1] += ptr[r];
+  }
+  const Offset total = ptr[static_cast<size_t>(rows)];
+
+  std::vector<Index> out_idx(static_cast<size_t>(total));
+  std::vector<Value> out_val(static_cast<size_t>(total));
+  std::vector<std::vector<Index>> exp_cols(
+      static_cast<size_t>(pool.threads()));
+  std::vector<std::vector<Value>> exp_vals(
+      static_cast<size_t>(pool.threads()));
+  pool.ParallelFor(
+      0, rows, grain,
+      [&](int64_t row_begin, int64_t row_end, int thread_index) {
+        RowScratch& s = arena.at(thread_index);
+        std::vector<Index>& ec = exp_cols[static_cast<size_t>(thread_index)];
+        std::vector<Value>& ev = exp_vals[static_cast<size_t>(thread_index)];
+        for (int64_t r = row_begin; r < row_end; ++r) {
+          ExpandRow(a, b, static_cast<Index>(r),
+                    row_flops[static_cast<size_t>(r)], &ec, &ev);
+          const Offset base = ptr[static_cast<size_t>(r)];
+          MergeRangeInto(ec.data(), ev.data(),
+                         static_cast<Offset>(ec.size()), &s,
+                         out_idx.data() + base, out_val.data() + base);
+        }
+        return Status::Ok();
+      });
+
   return CsrMatrix::FromParts(rows, cols, std::move(ptr), std::move(out_idx),
                               std::move(out_val));
 }
@@ -96,6 +207,7 @@ Result<CsrMatrix> OuterProductExpandMerge(const CsrMatrix& a,
   SPNET_RETURN_IF_ERROR(CheckDims(a, b));
   const Index rows = a.rows();
   const Index cols = b.cols();
+  ThreadPool& pool = GlobalThreadPool();
 
   // Row-wise C-hat sizes drive the relocation cursors (the paper
   // precalculates exactly this).
@@ -109,42 +221,115 @@ Result<CsrMatrix> OuterProductExpandMerge(const CsrMatrix& a,
 
   std::vector<Index> chat_cols(static_cast<size_t>(total));
   std::vector<Value> chat_vals(static_cast<size_t>(total));
-  std::vector<Offset> cursor(chat_ptr.begin(), chat_ptr.end() - 1);
 
-  // Expansion: pair i = (column i of A) x (row i of B); every product of
-  // the pair lands in the C-hat region of its output row.
-  const CscMatrix a_csc = CscMatrix::FromCsr(a);
-  for (Index i = 0; i < a.cols(); ++i) {
-    const SpanView acol = a_csc.Col(i);
-    if (acol.size == 0 || i >= b.rows()) continue;
-    const SpanView brow = b.Row(i);
-    if (brow.size == 0) continue;
-    for (Offset k = 0; k < acol.size; ++k) {
-      const Index r = acol.indices[k];
-      const Value av = acol.values[k];
-      Offset& cur = cursor[static_cast<size_t>(r)];
-      for (Offset l = 0; l < brow.size; ++l) {
-        chat_cols[static_cast<size_t>(cur)] = brow.indices[l];
-        chat_vals[static_cast<size_t>(cur)] = av * brow.values[l];
-        ++cur;
+  if (pool.threads() == 1) {
+    // Serial expansion, pair by pair: pair i = (column i of A) x (row i of
+    // B); every product of the pair lands in the C-hat region of its
+    // output row.
+    std::vector<Offset> cursor(chat_ptr.begin(), chat_ptr.end() - 1);
+    const CscMatrix a_csc = CscMatrix::FromCsr(a);
+    for (Index i = 0; i < a.cols(); ++i) {
+      const SpanView acol = a_csc.Col(i);
+      if (acol.size == 0 || i >= b.rows()) continue;
+      const SpanView brow = b.Row(i);
+      if (brow.size == 0) continue;
+      for (Offset k = 0; k < acol.size; ++k) {
+        const Index r = acol.indices[k];
+        const Value av = acol.values[k];
+        Offset& cur = cursor[static_cast<size_t>(r)];
+        for (Offset l = 0; l < brow.size; ++l) {
+          chat_cols[static_cast<size_t>(cur)] = brow.indices[l];
+          chat_vals[static_cast<size_t>(cur)] = av * brow.values[l];
+          ++cur;
+        }
       }
     }
+
+    // Serial merge: row-wise dense accumulation over the relocated
+    // intermediate, growing the output as rows complete.
+    RowScratch s;
+    s.EnsureCols(cols);
+    std::vector<Offset> ptr(static_cast<size_t>(rows) + 1, 0);
+    std::vector<Index> out_idx;
+    std::vector<Value> out_val;
+    for (Index r = 0; r < rows; ++r) {
+      const Offset begin = chat_ptr[static_cast<size_t>(r)];
+      const Offset count = chat_ptr[static_cast<size_t>(r) + 1] - begin;
+      const size_t base = out_idx.size();
+      out_idx.resize(base + static_cast<size_t>(count));
+      out_val.resize(base + static_cast<size_t>(count));
+      const Offset merged = MergeRangeInto(
+          chat_cols.data() + begin, chat_vals.data() + begin, count, &s,
+          out_idx.data() + base, out_val.data() + base);
+      out_idx.resize(base + static_cast<size_t>(merged));
+      out_val.resize(base + static_cast<size_t>(merged));
+      ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(out_idx.size());
+    }
+    return CsrMatrix::FromParts(rows, cols, std::move(ptr),
+                                std::move(out_idx), std::move(out_val));
   }
 
-  // Merge: row-wise dense accumulation over the relocated intermediate.
-  std::vector<Value> acc(static_cast<size_t>(cols), 0.0);
-  std::vector<bool> touched(static_cast<size_t>(cols), false);
-  std::vector<Index> scratch;
+  // Parallel expansion: each output row's C-hat region is filled by one
+  // thread. Within a row the serial column-major scatter appends products
+  // in increasing inner-dimension order, which is exactly the order
+  // ExpandRow produces (A's rows are column-sorted), so the relocated
+  // intermediate is bit-identical to the serial scatter.
+  const int64_t grain = GrainForItems(rows, pool.threads());
+  pool.ParallelFor(
+      0, rows, grain, [&](int64_t row_begin, int64_t row_end, int) {
+        for (int64_t r = row_begin; r < row_end; ++r) {
+          Offset cur = chat_ptr[static_cast<size_t>(r)];
+          const SpanView arow = a.Row(static_cast<Index>(r));
+          for (Offset k = 0; k < arow.size; ++k) {
+            const SpanView brow = b.Row(arow.indices[k]);
+            const Value av = arow.values[k];
+            for (Offset l = 0; l < brow.size; ++l) {
+              chat_cols[static_cast<size_t>(cur)] = brow.indices[l];
+              chat_vals[static_cast<size_t>(cur)] = av * brow.values[l];
+              ++cur;
+            }
+          }
+        }
+        return Status::Ok();
+      });
+
+  // Parallel merge: two-pass (size, scan, fill) over the C-hat regions.
+  RowScratchArena arena(pool.threads(), cols);
   std::vector<Offset> ptr(static_cast<size_t>(rows) + 1, 0);
-  std::vector<Index> out_idx;
-  std::vector<Value> out_val;
-  for (Index r = 0; r < rows; ++r) {
-    const Offset begin = chat_ptr[static_cast<size_t>(r)];
-    const Offset count = chat_ptr[static_cast<size_t>(r) + 1] - begin;
-    MergeRange(chat_cols.data() + begin, chat_vals.data() + begin, count, &acc,
-               &touched, &scratch, &out_idx, &out_val);
-    ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(out_idx.size());
+  pool.ParallelFor(0, rows, grain,
+                   [&](int64_t row_begin, int64_t row_end, int thread_index) {
+                     RowScratch& s = arena.at(thread_index);
+                     for (int64_t r = row_begin; r < row_end; ++r) {
+                       const Offset begin = chat_ptr[static_cast<size_t>(r)];
+                       const Offset count =
+                           chat_ptr[static_cast<size_t>(r) + 1] - begin;
+                       ptr[static_cast<size_t>(r) + 1] =
+                           CountDistinct(chat_cols.data() + begin, count, &s);
+                     }
+                     return Status::Ok();
+                   });
+  for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
+    ptr[r + 1] += ptr[r];
   }
+  const Offset out_total = ptr[static_cast<size_t>(rows)];
+
+  std::vector<Index> out_idx(static_cast<size_t>(out_total));
+  std::vector<Value> out_val(static_cast<size_t>(out_total));
+  pool.ParallelFor(
+      0, rows, grain,
+      [&](int64_t row_begin, int64_t row_end, int thread_index) {
+        RowScratch& s = arena.at(thread_index);
+        for (int64_t r = row_begin; r < row_end; ++r) {
+          const Offset begin = chat_ptr[static_cast<size_t>(r)];
+          const Offset count = chat_ptr[static_cast<size_t>(r) + 1] - begin;
+          const Offset base = ptr[static_cast<size_t>(r)];
+          MergeRangeInto(chat_cols.data() + begin, chat_vals.data() + begin,
+                         count, &s, out_idx.data() + base,
+                         out_val.data() + base);
+        }
+        return Status::Ok();
+      });
+
   return CsrMatrix::FromParts(rows, cols, std::move(ptr), std::move(out_idx),
                               std::move(out_val));
 }

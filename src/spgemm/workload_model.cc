@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/parallel.h"
 #include "spgemm/plan.h"
 
 namespace spnet {
@@ -19,46 +20,109 @@ using sparse::SpanView;
 
 Workload BuildWorkload(const CsrMatrix& a, const CsrMatrix& b) {
   Workload w;
+  ThreadPool& pool = GlobalThreadPool();
+  const int threads = pool.threads();
+
+  // Block-wise precalculation: nnz per column of A. A scatter over the
+  // index array, parallelized as chunked histograms summed column-wise
+  // (integer adds, so any combination order gives the serial counts).
   w.a_col_nnz.assign(static_cast<size_t>(a.cols()), 0);
-  for (Index c : a.indices()) w.a_col_nnz[static_cast<size_t>(c)]++;
+  const int64_t nnz = static_cast<int64_t>(a.indices().size());
+  if (threads == 1 || nnz == 0) {
+    for (Index c : a.indices()) w.a_col_nnz[static_cast<size_t>(c)]++;
+  } else {
+    const int64_t hist_grain = GrainForChunkPerThread(nnz, threads);
+    const int64_t num_chunks = CeilDiv(nnz, hist_grain);
+    std::vector<std::vector<int64_t>> hist(static_cast<size_t>(num_chunks));
+    pool.ParallelFor(0, nnz, hist_grain,
+                     [&](int64_t begin, int64_t end, int) {
+                       std::vector<int64_t>& h =
+                           hist[static_cast<size_t>(begin / hist_grain)];
+                       h.assign(static_cast<size_t>(a.cols()), 0);
+                       for (int64_t k = begin; k < end; ++k) {
+                         h[static_cast<size_t>(
+                             a.indices()[static_cast<size_t>(k)])]++;
+                       }
+                       return Status::Ok();
+                     });
+    pool.ParallelFor(0, a.cols(), GrainForItems(a.cols(), threads),
+                     [&](int64_t begin, int64_t end, int) {
+                       for (int64_t c = begin; c < end; ++c) {
+                         int64_t sum = 0;
+                         for (const auto& h : hist) {
+                           sum += h[static_cast<size_t>(c)];
+                         }
+                         w.a_col_nnz[static_cast<size_t>(c)] = sum;
+                       }
+                       return Status::Ok();
+                     });
+  }
 
   w.b_row_nnz.assign(static_cast<size_t>(b.rows()), 0);
-  for (Index r = 0; r < b.rows(); ++r) {
-    w.b_row_nnz[static_cast<size_t>(r)] = b.RowNnz(r);
-  }
+  pool.ParallelFor(0, b.rows(), GrainForItems(b.rows(), threads),
+                   [&](int64_t begin, int64_t end, int) {
+                     for (int64_t r = begin; r < end; ++r) {
+                       w.b_row_nnz[static_cast<size_t>(r)] =
+                           b.RowNnz(static_cast<Index>(r));
+                     }
+                     return Status::Ok();
+                   });
 
   w.pair_work.assign(static_cast<size_t>(a.cols()), 0);
-  for (Index i = 0; i < a.cols(); ++i) {
-    const int64_t brow =
-        i < b.rows() ? w.b_row_nnz[static_cast<size_t>(i)] : 0;
-    w.pair_work[static_cast<size_t>(i)] =
-        w.a_col_nnz[static_cast<size_t>(i)] * brow;
-    w.flops += w.pair_work[static_cast<size_t>(i)];
-  }
+  w.flops = pool.ParallelReduce(
+      0, a.cols(), GrainForItems(a.cols(), threads), int64_t{0},
+      [&](int64_t begin, int64_t end, int) {
+        int64_t flops = 0;
+        for (int64_t i = begin; i < end; ++i) {
+          const int64_t brow =
+              i < b.rows() ? w.b_row_nnz[static_cast<size_t>(i)] : 0;
+          w.pair_work[static_cast<size_t>(i)] =
+              w.a_col_nnz[static_cast<size_t>(i)] * brow;
+          flops += w.pair_work[static_cast<size_t>(i)];
+        }
+        return flops;
+      },
+      [](int64_t acc, int64_t partial) { return acc + partial; });
 
+  // Row-wise precalculation: nnz(C-hat) per output row.
   w.row_chat.assign(static_cast<size_t>(a.rows()), 0);
-  for (Index r = 0; r < a.rows(); ++r) {
-    const SpanView row = a.Row(r);
-    int64_t f = 0;
-    for (Offset k = 0; k < row.size; ++k) {
-      const Index j = row.indices[k];
-      if (j < b.rows()) f += w.b_row_nnz[static_cast<size_t>(j)];
-    }
-    w.row_chat[static_cast<size_t>(r)] = f;
-  }
+  pool.ParallelFor(0, a.rows(), GrainForItems(a.rows(), threads),
+                   [&](int64_t begin, int64_t end, int) {
+                     for (int64_t r = begin; r < end; ++r) {
+                       const SpanView row = a.Row(static_cast<Index>(r));
+                       int64_t f = 0;
+                       for (Offset k = 0; k < row.size; ++k) {
+                         const Index j = row.indices[k];
+                         if (j < b.rows()) {
+                           f += w.b_row_nnz[static_cast<size_t>(j)];
+                         }
+                       }
+                       w.row_chat[static_cast<size_t>(r)] = f;
+                     }
+                     return Status::Ok();
+                   });
 
-  // Hashing estimator of the merged row sizes.
+  // Hashing estimator of the merged row sizes. Each row's estimate is
+  // independent; only the int64 total crosses rows.
   const double cols = static_cast<double>(b.cols());
   w.row_c_est.assign(static_cast<size_t>(a.rows()), 0);
-  for (Index r = 0; r < a.rows(); ++r) {
-    const double f = static_cast<double>(w.row_chat[static_cast<size_t>(r)]);
-    if (f <= 0.0) continue;
-    double unique = cols * (1.0 - std::exp(-f / cols));
-    unique = std::min(unique, f);
-    w.row_c_est[static_cast<size_t>(r)] =
-        std::max<int64_t>(1, static_cast<int64_t>(std::llround(unique)));
-    w.output_nnz += w.row_c_est[static_cast<size_t>(r)];
-  }
+  w.output_nnz = pool.ParallelReduce(
+      0, a.rows(), GrainForItems(a.rows(), threads), int64_t{0},
+      [&](int64_t begin, int64_t end, int) {
+        int64_t out = 0;
+        for (int64_t r = begin; r < end; ++r) {
+          const double f =
+              static_cast<double>(w.row_chat[static_cast<size_t>(r)]);
+          if (f <= 0.0) continue;
+          double unique = cols * (1.0 - std::exp(-f / cols));
+          unique = std::min(unique, f);
+          w.row_c_est[static_cast<size_t>(r)] =
+              std::max<int64_t>(1, static_cast<int64_t>(std::llround(unique)));
+          out += w.row_c_est[static_cast<size_t>(r)];
+        }
+        return out;
+      },
+      [](int64_t acc, int64_t partial) { return acc + partial; });
   return w;
 }
 

@@ -12,13 +12,16 @@
 //             [--scale 14] [--edges N] [--dim N] [--nnz N] [--skew S]
 //
 // Omitting --b computes C = A^2. Files ending in .spnb use the binary
-// container; anything else is treated as Matrix Market.
+// container; anything else is treated as Matrix Market. Every command
+// accepts --threads=<n> to size the host thread pool (default: hardware
+// concurrency).
 
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/auto_tune.h"
 #include "core/block_reorganizer.h"
@@ -252,6 +255,9 @@ int Run(int argc, char** argv) {
   FlagParser flags;
   if (!flags.Parse(argc, argv).ok()) return Usage();
   if (flags.positional().empty()) return Usage();
+  // Host threads for the functional stack (0 = hardware concurrency);
+  // every command funnels through the same expansion/merge engines.
+  SetGlobalThreadCount(static_cast<int>(flags.GetInt("threads", 0)));
   const std::string& command = flags.positional()[0];
   if (command == "multiply") return CmdMultiply(flags);
   if (command == "profile") return CmdProfile(flags);
