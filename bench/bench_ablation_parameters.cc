@@ -102,6 +102,10 @@ int Run(int argc, char** argv) {
   std::printf("\nThe defaults (alpha=32, beta=10, block=256, heuristic "
               "splitting) should sit at or near the per-column optima; "
               "auto-tune adapts alpha/beta per input.\n");
+
+  bench::BenchJson json("ablation_parameters", "parameter ablation", options);
+  json.AddTable("speedup_vs_parameters", table);
+  json.WriteIfRequested();
   return 0;
 }
 

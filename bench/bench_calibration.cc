@@ -4,7 +4,8 @@
 // search over the model parameters and reports the best setting found
 // (used offline to pick the DeviceSpec defaults; see EXPERIMENTS.md).
 //
-// Flags: --scale (default 0.12), --sweep, --rounds=N, --seed.
+// Flags: --scale (default 0.12), --sweep, --rounds=N, --seed,
+// --json_out=<path> (machine-readable BENCH_calibration.json).
 
 #include <cmath>
 #include <cstdio>
@@ -95,7 +96,7 @@ double Loss(const Metrics& m) {
          2.0 * LogErr(m.combined, kTargets.combined);
 }
 
-void Print(const Metrics& m) {
+metrics::Table MetricsTable(const Metrics& m) {
   metrics::Table t({"metric", "paper", "model"});
   auto row = [&](const char* name, double target, double v) {
     t.AddRow({name, metrics::FormatDouble(target), metrics::FormatDouble(v)});
@@ -110,7 +111,11 @@ void Print(const Metrics& m) {
   row("B-Splitting / outer", kTargets.splitting, m.splitting);
   row("B-Gathering / outer", kTargets.gathering, m.gathering);
   row("combined / outer", kTargets.combined, m.combined);
-  std::fputs(t.ToString().c_str(), stdout);
+  return t;
+}
+
+void Print(const Metrics& m) {
+  std::fputs(MetricsTable(m).ToString().c_str(), stdout);
 }
 
 struct Knob {
@@ -136,13 +141,25 @@ int Run(int argc, char** argv) {
     mats.push_back(std::move(m).value());
   }
 
+  // This bench owns its flag parsing (it predates BenchOptions); build an
+  // options record just for the json writer's run provenance.
+  bench::BenchOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  options.json_out = flags.GetString("json_out", "");
+  bench::BenchJson json("calibration", "calibration report", options);
+
   gpusim::DeviceSpec device = gpusim::DeviceSpec::TitanXp();
   Metrics current = Evaluate(mats, device);
   std::printf("== Calibration report (Titan Xp model, scale %.2f) ==\n",
               scale);
   Print(current);
   std::printf("loss = %.4f\n", Loss(current));
-  if (!sweep) return 0;
+  json.AddTable("paper_vs_model", MetricsTable(current));
+  if (!sweep) {
+    json.WriteIfRequested();
+    return 0;
+  }
 
   std::vector<Knob> knobs = {
       {"block_dispatch_cycles", &gpusim::DeviceSpec::block_dispatch_cycles,
@@ -215,7 +232,10 @@ int Run(int argc, char** argv) {
   for (const Knob& knob : knobs) {
     std::printf("%s = %g\n", knob.name, device.*(knob.field));
   }
-  Print(Evaluate(mats, device));
+  const Metrics tuned = Evaluate(mats, device);
+  Print(tuned);
+  json.AddTable("paper_vs_model_tuned", MetricsTable(tuned));
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -63,6 +63,10 @@ int Run(int argc, char** argv) {
               "outer-product baseline (balanced but bookkeeping-heavy);"
               " nsparse benefits from its fused merge on regular data but "
               "its global-hash fallback suffers on wide power-law rows.\n");
+
+  bench::BenchJson json("extensions_relatedwork", "extension", options);
+  json.AddTable("speedup_over_row_product", table);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -122,6 +122,12 @@ int Run(int argc, char** argv) {
       "\nPaper reference: regular sets balance SMs; skewed sets drop below "
       "20%% SM utilization; most blocks have <32 effective threads; merge "
       "dominates on skewed data.\n");
+
+  bench::BenchJson json("fig03_motivation", "Figure 3", options);
+  json.AddTable("sm_utilization", sm_table);
+  json.AddTable("thread_block_effective_threads", tb_table);
+  json.AddTable("expansion_vs_merge", phase_table);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -69,6 +69,11 @@ int Run(int argc, char** argv) {
   std::printf("\nPaper reference (Titan Xp): Block Reorganizer 1.43x, "
               "outer-product 0.95x, cuSPARSE 0.29x, CUSP 0.22x, bhSPARSE "
               "0.55x, MKL 0.48x.\n");
+
+  bench::BenchJson json("fig08_09_realworld", "Figures 8-9", options);
+  json.AddTable("speedup_over_row_product", speedup_table);
+  json.AddTable("gflops", gflops_table);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -2,7 +2,8 @@
 // B-Limiting (each alone) and the full Block Reorganizer, normalized to
 // the outer-product baseline, across the 28 real-world datasets.
 //
-// Flags: --scale (default 0.25), --device, --seed, --csv.
+// Flags: --scale (default 0.25), --device, --seed, --csv,
+// --json_out=<path> (machine-readable BENCH_fig10_techniques.json).
 
 #include <cstdio>
 #include <map>
@@ -27,15 +28,18 @@ int Run(int argc, char** argv) {
   for (const auto& alg : suite) header.push_back(alg->name());
   metrics::Table table(header);
   std::map<std::string, std::vector<double>> gains;
+  // One context across the whole sweep: counters (kernels, pool chunks)
+  // accumulate over every measurement, gauges hold the last run's values.
+  spgemm::ExecContext ctx;
 
   for (const std::string& name : bench::AllDatasetNames()) {
     const sparse::CsrMatrix a = bench::LoadDataset(name, options);
-    auto base = spgemm::Measure(*outer, a, a, device);
+    auto base = spgemm::Measure(*outer, a, a, device, &ctx);
     SPNET_CHECK(base.ok()) << base.status().ToString();
 
     std::vector<std::string> row = {name};
     for (const auto& alg : suite) {
-      auto m = spgemm::Measure(*alg, a, a, device);
+      auto m = spgemm::Measure(*alg, a, a, device, &ctx);
       SPNET_CHECK(m.ok()) << m.status().ToString();
       const double gain = base->total_seconds / m->total_seconds;
       gains[alg->name()].push_back(gain);
@@ -58,6 +62,11 @@ int Run(int argc, char** argv) {
              stdout);
   std::printf("\nPaper reference: B-Limiting 1.05x, B-Splitting 1.05x, "
               "B-Gathering 1.28x, Block Reorganizer 1.51x (means).\n");
+
+  bench::BenchJson json("fig10_techniques", "Figure 10", options);
+  json.AddTable("gain_over_outer_product", table);
+  json.AttachContext(&ctx);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -69,6 +69,10 @@ int Run(int argc, char** argv) {
   std::printf("\nPaper reference: LBI rises from ~0.17 toward ~0.96 as the "
               "factor approaches the SM count; dominator speedup averages "
               "8.68x; gains past the SM count come from L2 reuse.\n");
+
+  bench::BenchJson json("fig11_splitting_lbi", "Figure 11", options);
+  json.AddTable("lbi_and_speedup_vs_factor", table);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -71,6 +71,10 @@ int Run(int argc, char** argv) {
   std::printf("\nMean L2 throughput improvement (factor 64 vs 1): %.1fx "
               "(paper: 8.9x).\n",
               metrics::ArithmeticMean(improvements));
+
+  bench::BenchJson json("fig12_l2_splitting", "Figure 12", options);
+  json.AddTable("l2_throughput_vs_factor", table);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -74,6 +74,10 @@ int Run(int argc, char** argv) {
   std::printf("\nPaper reference: the sync-stall percentage drops sharply "
               "once underloaded blocks are gathered, leaving mostly memory "
               "stalls.\n");
+
+  bench::BenchJson json("fig13_sync_stalls", "Figure 13", options);
+  json.AddTable("sync_stalls_before_after_gathering", table);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -77,6 +77,10 @@ int Run(int argc, char** argv) {
               "to a peak and then falls as warp occupancy suffers; the "
               "default factor is 4 x 6144 bytes (L2 read +1.49x, write "
               "+1.52x on average).\n");
+
+  bench::BenchJson json("fig14_l2_limiting", "Figure 14", options);
+  json.AddTable("l2_throughput_vs_limiting_factor", table);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -70,6 +70,11 @@ int Run(int argc, char** argv) {
   std::printf("\nPaper reference: Block Reorganizer 1.43x (Titan Xp), "
               "1.66x (V100), 1.40x (2080 Ti); the outer-product baseline "
               "stays near the row-product level on every device.\n");
+
+  bench::BenchJson json("fig15_scalability", "Figure 15", options);
+  json.AddTable("device_specs", spec_table);
+  json.AddTable("mean_speedup_per_device", table);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -67,6 +67,11 @@ int Run(int argc, char** argv) {
               "bhSPARSE while Block Reorganizer gains throughout; on the "
               "sparsest inputs (sp4) Block Reorganizer leads via "
               "B-Gathering.\n");
+
+  bench::BenchJson json("fig16a_synthetic", "Figure 16(a)", options);
+  json.AddTable("synthetic_specs", spec_table);
+  json.AddTable("speedup_over_row_product", table);
+  json.WriteIfRequested();
   return 0;
 }
 

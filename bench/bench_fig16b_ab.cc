@@ -65,6 +65,10 @@ int Run(int argc, char** argv) {
               "C = A^2, most blocks are underloaded, and Block Reorganizer "
               "gains ~1.09x over the baseline — mostly via B-Gathering — "
               "scaling with input size.\n");
+
+  bench::BenchJson json("fig16b_ab", "Figure 16(b)", options);
+  json.AddTable("speedup_c_eq_ab", table);
+  json.WriteIfRequested();
   return 0;
 }
 

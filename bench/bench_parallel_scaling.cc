@@ -13,7 +13,8 @@
 //
 // Flags: --scale (default 1.0 here; the matrices are synthetic and small),
 // --seed, --csv, --threads (ignored: this bench sweeps thread counts),
-// --repeats (default 3, best-of).
+// --repeats (default 3, best-of), --json_out=<path> (machine-readable
+// BENCH_parallel_scaling.json).
 
 #include <cstdio>
 #include <functional>
@@ -151,6 +152,10 @@ int Run(int argc, char** argv) {
 
   std::fputs(options.csv ? table.ToCsv().c_str() : table.ToString().c_str(),
              stdout);
+
+  bench::BenchJson json("parallel_scaling", "host scaling", options);
+  json.AddTable("wall_clock_vs_threads", table);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -64,6 +64,11 @@ int Run(int argc, char** argv) {
   std::printf("\n== Section IV-E: technique gains over the outer-product "
               "baseline ==\n");
   std::fputs(gains.ToString().c_str(), stdout);
+
+  bench::BenchJson json("sec4e_youtube", "Section IV-E", options);
+  json.AddTable("workload_bins", bins);
+  json.AddTable("technique_gains", gains);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -66,6 +66,10 @@ int Run(int argc, char** argv) {
              stdout);
   std::printf("\n'nnz(C) measured' extrapolates the measured nnz(C)/nnz(A) "
               "ratio to the paper's nnz(A).\n");
+
+  bench::BenchJson json("table2_datasets", "Table II", options);
+  json.AddTable("datasets", table);
+  json.WriteIfRequested();
   return 0;
 }
 

@@ -2,7 +2,9 @@
 #define SPNET_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -11,7 +13,10 @@
 #include "datasets/cache.h"
 #include "datasets/registry.h"
 #include "gpusim/device_spec.h"
+#include "metrics/json_writer.h"
+#include "metrics/report.h"
 #include "sparse/csr_matrix.h"
+#include "spgemm/exec_context.h"
 
 namespace spnet {
 namespace bench {
@@ -28,6 +33,8 @@ namespace bench {
 ///                  (default: hardware concurrency; 1 = historical serial
 ///                  path; affects host wall-clock only, never simulated
 ///                  cycles or results)
+///   --json_out=<p> also write the run's tables (plus any ExecContext
+///                  metrics/trace) as a machine-readable BENCH_*.json
 struct BenchOptions {
   double scale = 0.25;
   uint64_t seed = 42;
@@ -38,6 +45,9 @@ struct BenchOptions {
   /// When set (--cache=<dir>), generated datasets are cached on disk as
   /// binary .spnb files and reloaded on later runs.
   std::string cache_dir;
+  /// When set (--json_out=<path>), BenchJson::WriteIfRequested writes the
+  /// machine-readable result file there.
+  std::string json_out;
 
   static BenchOptions FromArgs(int argc, const char* const* argv) {
     FlagParser flags;
@@ -50,6 +60,7 @@ struct BenchOptions {
     o.csv = flags.GetBool("csv", false);
     o.threads = static_cast<int>(flags.GetInt("threads", 0));
     o.cache_dir = flags.GetString("cache", "");
+    o.json_out = flags.GetString("json_out", "");
     SetGlobalThreadCount(o.threads);
     return o;
   }
@@ -81,6 +92,115 @@ inline std::vector<std::string> AllDatasetNames() {
   }
   return names;
 }
+
+/// Parses a cell like "1.43" or "1431" into a double. Cells such as
+/// "2.7M", "n/a" or dataset names stay strings in the JSON output.
+inline bool ParseNumericCell(const std::string& cell, double* value) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return false;
+  if (!(parsed == parsed) || parsed > 1e300 || parsed < -1e300) return false;
+  *value = parsed;
+  return true;
+}
+
+/// Machine-readable bench output (the --json_out flag). A bench registers
+/// the same metrics::Table objects it prints, optionally attaches the
+/// ExecContext used for measurement, and calls WriteIfRequested() last.
+///
+/// Schema (stable; see EXPERIMENTS.md):
+///   { "schema_version": 1, "bench": ..., "figure": ..., "device": ...,
+///     "scale": ..., "seed": ..., "threads": ...,
+///     "tables": [{"name", "columns", "rows"}...],
+///     "metrics": {...} | null, "trace": [...] | null }
+/// Numeric-looking cells are emitted as JSON numbers, everything else as
+/// strings.
+class BenchJson {
+ public:
+  /// `bench` is the binary's short name (e.g. "fig10_techniques"),
+  /// `figure` the paper artifact it reproduces (e.g. "Figure 10").
+  BenchJson(std::string bench, std::string figure, const BenchOptions& options)
+      : bench_(std::move(bench)),
+        figure_(std::move(figure)),
+        options_(options) {}
+
+  void AddTable(const std::string& name, const metrics::Table& table) {
+    tables_.emplace_back(name, table);
+  }
+
+  /// Serializes the context's registry + trace into the result file.
+  /// The pointer must outlive WriteIfRequested(); pass the measurement
+  /// context after the runs finish.
+  void AttachContext(const spgemm::ExecContext* ctx) { ctx_ = ctx; }
+
+  std::string ToJson() const {
+    metrics::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").Int(1);
+    w.Key("bench").String(bench_);
+    w.Key("figure").String(figure_);
+    w.Key("device").String(options_.device_name);
+    w.Key("scale").Double(options_.scale);
+    w.Key("seed").Int(static_cast<int64_t>(options_.seed));
+    w.Key("threads").Int(options_.threads);
+    w.Key("tables").BeginArray();
+    for (const auto& [name, table] : tables_) {
+      w.BeginObject();
+      w.Key("name").String(name);
+      w.Key("columns").BeginArray();
+      for (const std::string& column : table.header()) w.String(column);
+      w.EndArray();
+      w.Key("rows").BeginArray();
+      for (const auto& row : table.rows()) {
+        w.BeginArray();
+        for (const std::string& cell : row) {
+          double value = 0.0;
+          if (ParseNumericCell(cell, &value)) {
+            w.Double(value);
+          } else {
+            w.String(cell);
+          }
+        }
+        w.EndArray();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("metrics");
+    if (ctx_ != nullptr) {
+      ctx_->registry.AppendJson(&w);
+    } else {
+      w.Null();
+    }
+    w.Key("trace");
+    if (ctx_ != nullptr) {
+      ctx_->trace.AppendJson(&w);
+    } else {
+      w.Null();
+    }
+    w.EndObject();
+    return w.str();
+  }
+
+  /// No-op without --json_out; otherwise writes the result file and logs
+  /// the destination. Write failures are fatal: a bench asked for a result
+  /// file that cannot exist has failed.
+  void WriteIfRequested() const {
+    if (options_.json_out.empty()) return;
+    const Status s = metrics::WriteTextFile(options_.json_out, ToJson());
+    SPNET_CHECK(s.ok()) << s.ToString();
+    std::fprintf(stderr, "wrote %s\n", options_.json_out.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::string figure_;
+  BenchOptions options_;
+  std::vector<std::pair<std::string, metrics::Table>> tables_;
+  const spgemm::ExecContext* ctx_ = nullptr;
+};
 
 }  // namespace bench
 }  // namespace spnet

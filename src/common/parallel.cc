@@ -63,9 +63,11 @@ void ThreadPool::RunChunks(Job* job, int thread_index) {
   const bool saved_in_chunk = tls_in_chunk;
   tls_thread_index = thread_index;
   tls_in_chunk = true;
+  int64_t chunks_here = 0;
   while (true) {
     const int64_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= job->num_chunks) break;
+    ++chunks_here;
     // Once any chunk failed, later chunks are claimed but not executed;
     // they still count as done so the submitter's wait terminates.
     if (!job->failed.load(std::memory_order_acquire)) {
@@ -88,6 +90,14 @@ void ThreadPool::RunChunks(Job* job, int thread_index) {
   }
   tls_thread_index = saved_index;
   tls_in_chunk = saved_in_chunk;
+  if (chunks_here > 0) {
+    ThreadPool* pool = job->pool;
+    pool->stat_chunks_run_.fetch_add(chunks_here, std::memory_order_relaxed);
+    if (thread_index != 0) {
+      pool->stat_chunks_stolen_.fetch_add(chunks_here,
+                                          std::memory_order_relaxed);
+    }
+  }
 }
 
 void ThreadPool::NotifyJobDone() {
@@ -127,15 +137,20 @@ Status ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     const bool saved_in_chunk = tls_in_chunk;
     tls_in_chunk = true;
     Status status;
+    int64_t chunks_here = 0;
     for (int64_t b = begin; b < end && status.ok(); b += grain) {
       status = fn(b, std::min(end, b + grain), tls_thread_index);
+      ++chunks_here;
     }
     tls_in_chunk = saved_in_chunk;
+    stat_inline_jobs_.fetch_add(1, std::memory_order_relaxed);
+    stat_chunks_run_.fetch_add(chunks_here, std::memory_order_relaxed);
     return status;
   }
 
   // One top-level job at a time; concurrent submitters queue here.
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  stat_parallel_jobs_.fetch_add(1, std::memory_order_relaxed);
 
   auto job = std::make_shared<Job>();
   job->begin = begin;
@@ -169,6 +184,15 @@ Status ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     return job->error_status;
   }
   return Status::Ok();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.parallel_jobs = stat_parallel_jobs_.load(std::memory_order_relaxed);
+  s.inline_jobs = stat_inline_jobs_.load(std::memory_order_relaxed);
+  s.chunks_run = stat_chunks_run_.load(std::memory_order_relaxed);
+  s.chunks_stolen = stat_chunks_stolen_.load(std::memory_order_relaxed);
+  return s;
 }
 
 namespace {

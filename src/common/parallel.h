@@ -45,6 +45,19 @@ class ThreadPool {
   /// Total participating threads (workers + the calling thread).
   int threads() const { return static_cast<int>(workers_.size()) + 1; }
 
+  /// Monotonic execution counters, snapshotted for observability. The pool
+  /// lives in `common` and cannot see the metrics layer, so it exposes a
+  /// plain struct; spgemm::ExecContext diffs two snapshots into its
+  /// Registry. "Stolen" counts chunks executed by a thread other than the
+  /// submitter (the submitter participates as thread 0).
+  struct Stats {
+    int64_t parallel_jobs = 0;  ///< ParallelFor calls fanned out to workers
+    int64_t inline_jobs = 0;    ///< calls run inline (1 thread/1 chunk/nested)
+    int64_t chunks_run = 0;     ///< chunks executed on either path
+    int64_t chunks_stolen = 0;  ///< chunks run by thread_index != 0
+  };
+  Stats stats() const;
+
   /// Chunk function: processes [chunk_begin, chunk_end). `thread_index` is
   /// in [0, threads()) and is stable for the duration of the chunk — use it
   /// to index per-thread scratch. The calling thread participates as
@@ -96,6 +109,11 @@ class ThreadPool {
   uint64_t job_generation_ = 0;      ///< guarded by mu_
   bool stop_ = false;                ///< guarded by mu_
   std::mutex submit_mu_;  ///< serializes concurrent top-level submitters
+
+  std::atomic<int64_t> stat_parallel_jobs_{0};
+  std::atomic<int64_t> stat_inline_jobs_{0};
+  std::atomic<int64_t> stat_chunks_run_{0};
+  std::atomic<int64_t> stat_chunks_stolen_{0};
 };
 
 /// The process-wide pool used by the functional spGEMM stack. Created

@@ -66,6 +66,10 @@ Result<ReorganizerConfig> AutoTune(const sparse::CsrMatrix& a,
     config.beta =
         std::clamp(threshold / mean, options.min_beta, options.max_beta);
   }
+  // The clamps above should keep the tuned knobs legal; validating here
+  // turns any future clamp regression into an error instead of a silently
+  // nonsensical configuration.
+  SPNET_RETURN_IF_ERROR(config.Validate());
   return config;
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/math_util.h"
+#include "spgemm/exec_context.h"
 
 namespace spnet {
 namespace core {
@@ -12,7 +13,9 @@ using sparse::Index;
 
 GatherPlan BuildGatherPlan(const spgemm::Workload& workload,
                            const std::vector<Index>& low_performers,
-                           const ReorganizerConfig& config) {
+                           const ReorganizerConfig& config,
+                           spgemm::ExecContext* ctx) {
+  metrics::ScopedSpan span(spgemm::TraceOf(ctx), "b-gathering");
   GatherPlan plan;
 
   // Bin n holds pairs whose effective thread count fits in 2^n lanes
@@ -65,6 +68,12 @@ GatherPlan BuildGatherPlan(const spgemm::Workload& workload,
       plan.blocks.push_back(std::move(block));
     }
   }
+  spgemm::SetGauge(ctx, "gathering.combined_blocks",
+                   static_cast<double>(plan.blocks.size()));
+  spgemm::SetGauge(ctx, "gathering.gathered_pairs",
+                   static_cast<double>(plan.gathered_pairs));
+  spgemm::SetGauge(ctx, "gathering.ungathered_pairs",
+                   static_cast<double>(plan.ungathered.size()));
   return plan;
 }
 

@@ -9,6 +9,10 @@
 #include "spgemm/workload_model.h"
 
 namespace spnet {
+namespace spgemm {
+struct ExecContext;
+}  // namespace spgemm
+
 namespace core {
 
 /// One combined thread block produced by B-Gathering: `pairs.size()`
@@ -33,9 +37,12 @@ struct GatherPlan {
 /// thread count (nnz of the B row), sorts each bin by per-thread work so
 /// lock-step warps carry similar lanes, and packs micro-blocks into
 /// combined blocks of `config.block_size` threads.
+/// With a context, records a "b-gathering" span and gathering.* gauges
+/// (combined blocks, gathered pairs, ungathered pairs).
 GatherPlan BuildGatherPlan(const spgemm::Workload& workload,
                            const std::vector<sparse::Index>& low_performers,
-                           const ReorganizerConfig& config);
+                           const ReorganizerConfig& config,
+                           spgemm::ExecContext* ctx = nullptr);
 
 }  // namespace core
 }  // namespace spnet

@@ -1,16 +1,24 @@
 #include "core/b_limiting.h"
 
+#include "spgemm/exec_context.h"
+
 namespace spnet {
 namespace core {
 
 spgemm::MergeOptions MakeLimitedMergeOptions(const Classification& classes,
-                                             const ReorganizerConfig& config) {
+                                             const ReorganizerConfig& config,
+                                             spgemm::ExecContext* ctx) {
+  metrics::ScopedSpan span(spgemm::TraceOf(ctx), "b-limiting");
   spgemm::MergeOptions options;
   options.block_size = config.block_size;
   if (config.enable_limiting && !classes.limited_rows.empty()) {
     options.limit_row_threshold = classes.limit_row_threshold;
     options.extra_shared_mem_bytes = config.limiting_extra_shmem;
   }
+  spgemm::SetGauge(ctx, "limiting.limited_rows",
+                   static_cast<double>(classes.limited_rows.size()));
+  spgemm::SetGauge(ctx, "limiting.extra_shmem_bytes",
+                   static_cast<double>(options.extra_shared_mem_bytes));
   return options;
 }
 

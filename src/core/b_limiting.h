@@ -6,6 +6,10 @@
 #include "spgemm/workload_model.h"
 
 namespace spnet {
+namespace spgemm {
+struct ExecContext;
+}  // namespace spgemm
+
 namespace core {
 
 /// Derives the merge-kernel options implementing B-Limiting: rows above
@@ -13,8 +17,11 @@ namespace core {
 /// blocks request `config.limiting_extra_shmem` additional shared memory,
 /// which lowers how many merge blocks an SM can host and with it the L2
 /// pressure (paper Section IV-D, Figures 7 and 14).
+/// With a context, records a "b-limiting" span and limiting.* gauges
+/// (limited rows, extra shared memory granted).
 spgemm::MergeOptions MakeLimitedMergeOptions(const Classification& classes,
-                                             const ReorganizerConfig& config);
+                                             const ReorganizerConfig& config,
+                                             spgemm::ExecContext* ctx = nullptr);
 
 }  // namespace core
 }  // namespace spnet

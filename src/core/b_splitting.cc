@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/math_util.h"
+#include "spgemm/exec_context.h"
 
 namespace spnet {
 namespace core {
@@ -21,7 +22,9 @@ std::vector<Index> SplitPlan::BuildMapper() const {
 SplitPlan BuildSplitPlan(const spgemm::Workload& workload,
                          const std::vector<Index>& dominators,
                          const ReorganizerConfig& config,
-                         const gpusim::DeviceSpec& device) {
+                         const gpusim::DeviceSpec& device,
+                         spgemm::ExecContext* ctx) {
+  metrics::ScopedSpan span(spgemm::TraceOf(ctx), "b-splitting");
   SplitPlan plan;
   plan.vectors.reserve(dominators.size());
 
@@ -63,8 +66,15 @@ SplitPlan BuildSplitPlan(const spgemm::Workload& workload,
     // The dominator column and row vectors are copied into A'/B' on the
     // host before pointer expansion.
     plan.copied_elements += col_nnz + row_nnz;
+    spgemm::ObserveHistogram(ctx, "splitting.factor", factor);
     plan.vectors.push_back(std::move(v));
   }
+  spgemm::SetGauge(ctx, "splitting.split_vectors",
+                   static_cast<double>(plan.vectors.size()));
+  spgemm::SetGauge(ctx, "splitting.fragments",
+                   static_cast<double>(plan.total_fragments));
+  spgemm::SetGauge(ctx, "splitting.copied_elements",
+                   static_cast<double>(plan.copied_elements));
   return plan;
 }
 

@@ -10,6 +10,10 @@
 #include "spgemm/workload_model.h"
 
 namespace spnet {
+namespace spgemm {
+struct ExecContext;
+}  // namespace spgemm
+
 namespace core {
 
 /// One dominator pair split into power-of-two column fragments. The
@@ -44,10 +48,15 @@ struct SplitPlan {
 /// at least the next power of two above 2x num_sms) while every fragment
 /// keeps at least one column element; `config.splitting_factor_override`
 /// forces a uniform factor for the Figure 11/12 sweeps.
+///
+/// With a context, records a "b-splitting" span, splitting.* gauges
+/// (fragments, copied elements, split vectors) and a
+/// splitting.factor histogram (one observation per split vector).
 SplitPlan BuildSplitPlan(const spgemm::Workload& workload,
                          const std::vector<sparse::Index>& dominators,
                          const ReorganizerConfig& config,
-                         const gpusim::DeviceSpec& device);
+                         const gpusim::DeviceSpec& device,
+                         spgemm::ExecContext* ctx = nullptr);
 
 }  // namespace core
 }  // namespace spnet

@@ -5,6 +5,8 @@
 
 #include "common/math_util.h"
 #include "core/b_limiting.h"
+#include "spgemm/algorithm_registry.h"
+#include "spgemm/exec_context.h"
 #include "spgemm/plan.h"
 
 namespace spnet {
@@ -94,15 +96,18 @@ KernelDesc BuildPreprocessKernel(const Workload& workload, int64_t nnz_a) {
 
 }  // namespace
 
-Result<SpGemmPlan> BlockReorganizerSpGemm::Plan(
-    const CsrMatrix& a, const CsrMatrix& b,
-    const gpusim::DeviceSpec& device) const {
+Result<SpGemmPlan> BlockReorganizerSpGemm::PlanImpl(
+    const CsrMatrix& a, const CsrMatrix& b, const gpusim::DeviceSpec& device,
+    spgemm::ExecContext* ctx) const {
   if (a.cols() != b.rows()) {
     return Status::InvalidArgument(
         "dimension mismatch in Block Reorganizer plan");
   }
-  const Workload workload = spgemm::BuildWorkload(a, b);
-  const Classification classes = Classify(workload, config_);
+  const Workload workload = [&] {
+    metrics::ScopedSpan span(spgemm::TraceOf(ctx), "build-workload");
+    return spgemm::BuildWorkload(a, b);
+  }();
+  const Classification classes = Classify(workload, config_, ctx);
 
   SpGemmPlan plan;
   plan.flops = workload.flops;
@@ -117,7 +122,7 @@ Result<SpGemmPlan> BlockReorganizerSpGemm::Plan(
   int64_t copied_elements = 0;
   if (config_.enable_splitting && !classes.dominators.empty()) {
     const SplitPlan split =
-        BuildSplitPlan(workload, classes.dominators, config_, device);
+        BuildSplitPlan(workload, classes.dominators, config_, device, ctx);
     copied_elements = split.copied_elements;
     for (const SplitVector& v : split.vectors) {
       const size_t pair = static_cast<size_t>(v.pair);
@@ -164,7 +169,7 @@ Result<SpGemmPlan> BlockReorganizerSpGemm::Plan(
   }
   if (config_.enable_gathering && !classes.low_performers.empty()) {
     const GatherPlan gather =
-        BuildGatherPlan(workload, classes.low_performers, config_);
+        BuildGatherPlan(workload, classes.low_performers, config_, ctx);
     for (const CombinedBlock& block : gather.blocks) {
       expansion.blocks.push_back(
           MakeGatheredBlock(workload, block, config_.block_size));
@@ -190,7 +195,8 @@ Result<SpGemmPlan> BlockReorganizerSpGemm::Plan(
   }
 
   // --- Merge with B-Limiting. ------------------------------------------------
-  const spgemm::MergeOptions merge = MakeLimitedMergeOptions(classes, config_);
+  const spgemm::MergeOptions merge =
+      MakeLimitedMergeOptions(classes, config_, ctx);
   for (KernelDesc& k : spgemm::BuildMergeKernels(workload, merge)) {
     plan.kernels.push_back(std::move(k));
   }
@@ -200,19 +206,25 @@ Result<SpGemmPlan> BlockReorganizerSpGemm::Plan(
   return plan;
 }
 
-Result<CsrMatrix> BlockReorganizerSpGemm::Compute(const CsrMatrix& a,
-                                                  const CsrMatrix& b) const {
+Result<CsrMatrix> BlockReorganizerSpGemm::ComputeImpl(
+    const CsrMatrix& a, const CsrMatrix& b, spgemm::ExecContext* ctx) const {
   if (a.cols() != b.rows()) {
     return Status::InvalidArgument(
         "dimension mismatch in Block Reorganizer compute");
   }
-  const Workload workload = spgemm::BuildWorkload(a, b);
-  const Classification classes = Classify(workload, config_);
+  const Workload workload = [&] {
+    metrics::ScopedSpan span(spgemm::TraceOf(ctx), "build-workload");
+    return spgemm::BuildWorkload(a, b);
+  }();
+  const Classification classes = Classify(workload, config_, ctx);
   const gpusim::DeviceSpec device = gpusim::DeviceSpec::TitanXp();
   const SplitPlan split =
       config_.enable_splitting
-          ? BuildSplitPlan(workload, classes.dominators, config_, device)
+          ? BuildSplitPlan(workload, classes.dominators, config_, device, ctx)
           : SplitPlan{};
+
+  metrics::TraceRecorder* trace = spgemm::TraceOf(ctx);
+  const int expand_span = trace == nullptr ? -1 : trace->Begin("expand");
 
   // Relocation cursors from the precalculated row-wise C-hat sizes.
   const Index rows = a.rows();
@@ -271,7 +283,7 @@ Result<CsrMatrix> BlockReorganizerSpGemm::Compute(const CsrMatrix& a,
   // order when enabled to mirror dispatch order.
   if (config_.enable_gathering) {
     const GatherPlan gather =
-        BuildGatherPlan(workload, classes.low_performers, config_);
+        BuildGatherPlan(workload, classes.low_performers, config_, ctx);
     for (const CombinedBlock& block : gather.blocks) {
       for (Index pair : block.pairs) {
         expand_pair_range(pair, 0,
@@ -288,6 +300,9 @@ Result<CsrMatrix> BlockReorganizerSpGemm::Compute(const CsrMatrix& a,
                         workload.a_col_nnz[static_cast<size_t>(pair)]);
     }
   }
+  if (trace != nullptr) trace->End(expand_span);
+  spgemm::AddCounter(ctx, "expand.products", static_cast<int64_t>(total));
+  const int merge_span = trace == nullptr ? -1 : trace->Begin("merge");
 
   // Merge: row-wise dense accumulation, first-touch order.
   std::vector<Value> acc(static_cast<size_t>(cols), 0.0);
@@ -316,18 +331,25 @@ Result<CsrMatrix> BlockReorganizerSpGemm::Compute(const CsrMatrix& a,
     }
     ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(out_idx.size());
   }
+  if (trace != nullptr) trace->End(merge_span);
+  spgemm::AddCounter(ctx, "merge.output_nnz",
+                     static_cast<int64_t>(out_idx.size()));
   return CsrMatrix::FromParts(rows, cols, std::move(ptr), std::move(out_idx),
                               std::move(out_val));
 }
 
 Result<ReorganizerReport> BlockReorganizerSpGemm::Analyze(
-    const CsrMatrix& a, const CsrMatrix& b,
-    const gpusim::DeviceSpec& device) const {
+    const CsrMatrix& a, const CsrMatrix& b, const gpusim::DeviceSpec& device,
+    spgemm::ExecContext* ctx) const {
   if (a.cols() != b.rows()) {
     return Status::InvalidArgument("dimension mismatch in Analyze");
   }
-  const Workload workload = spgemm::BuildWorkload(a, b);
-  const Classification classes = Classify(workload, config_);
+  metrics::ScopedSpan span(spgemm::TraceOf(ctx), "analyze:" + name());
+  const Workload workload = [&] {
+    metrics::ScopedSpan inner(spgemm::TraceOf(ctx), "build-workload");
+    return spgemm::BuildWorkload(a, b);
+  }();
+  const Classification classes = Classify(workload, config_, ctx);
 
   ReorganizerReport report;
   report.dominators = static_cast<int64_t>(classes.dominators.size());
@@ -341,22 +363,54 @@ Result<ReorganizerReport> BlockReorganizerSpGemm::Analyze(
 
   if (config_.enable_splitting) {
     const SplitPlan split =
-        BuildSplitPlan(workload, classes.dominators, config_, device);
+        BuildSplitPlan(workload, classes.dominators, config_, device, ctx);
     report.fragments = split.total_fragments;
   }
   if (config_.enable_gathering) {
     const GatherPlan gather =
-        BuildGatherPlan(workload, classes.low_performers, config_);
+        BuildGatherPlan(workload, classes.low_performers, config_, ctx);
     report.combined_blocks = static_cast<int64_t>(gather.blocks.size());
     report.gathered_pairs = gather.gathered_pairs;
   }
   return report;
 }
 
-std::unique_ptr<spgemm::SpGemmAlgorithm> MakeBlockReorganizer(
+Result<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeBlockReorganizer(
     ReorganizerConfig config, std::string display_name) {
-  return std::make_unique<BlockReorganizerSpGemm>(config,
-                                                  std::move(display_name));
+  SPNET_RETURN_IF_ERROR(config.Validate());
+  return {std::make_unique<BlockReorganizerSpGemm>(config,
+                                                   std::move(display_name))};
+}
+
+void RegisterCoreAlgorithms() {
+  static const bool registered = [] {
+    auto& registry = spgemm::AlgorithmRegistry::Global();
+    auto add = [&registry](const std::string& name, ReorganizerConfig config,
+                           const std::string& display_name) {
+      const Status s = registry.Register(name, [config, display_name] {
+        return MakeBlockReorganizer(config, display_name);
+      });
+      (void)s;  // only AlreadyExists, and this block runs once
+    };
+    add("reorganizer", {}, "");
+
+    ReorganizerConfig limiting_only;
+    limiting_only.enable_splitting = false;
+    limiting_only.enable_gathering = false;
+    add("reorganizer-limiting", limiting_only, "B-Limiting");
+
+    ReorganizerConfig splitting_only;
+    splitting_only.enable_gathering = false;
+    splitting_only.enable_limiting = false;
+    add("reorganizer-splitting", splitting_only, "B-Splitting");
+
+    ReorganizerConfig gathering_only;
+    gathering_only.enable_splitting = false;
+    gathering_only.enable_limiting = false;
+    add("reorganizer-gathering", gathering_only, "B-Gathering");
+    return true;
+  }();
+  (void)registered;
 }
 
 }  // namespace core

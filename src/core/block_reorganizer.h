@@ -45,29 +45,42 @@ class BlockReorganizerSpGemm : public spgemm::SpGemmAlgorithm {
 
   const ReorganizerConfig& config() const { return config_; }
 
-  Result<spgemm::SpGemmPlan> Plan(const sparse::CsrMatrix& a,
-                                  const sparse::CsrMatrix& b,
-                                  const gpusim::DeviceSpec& device) const override;
+  /// Runs only the pre-process and reports the bin populations.
+  Result<ReorganizerReport> Analyze(const sparse::CsrMatrix& a,
+                                    const sparse::CsrMatrix& b,
+                                    const gpusim::DeviceSpec& device,
+                                    spgemm::ExecContext* ctx = nullptr) const;
+
+ protected:
+  Result<spgemm::SpGemmPlan> PlanImpl(const sparse::CsrMatrix& a,
+                                      const sparse::CsrMatrix& b,
+                                      const gpusim::DeviceSpec& device,
+                                      spgemm::ExecContext* ctx) const override;
 
   /// Host execution that genuinely routes the expansion through the split
   /// fragments and the mapper array, so the transformation logic is
   /// validated end to end (tests compare against ReferenceSpGemm).
-  Result<sparse::CsrMatrix> Compute(const sparse::CsrMatrix& a,
-                                    const sparse::CsrMatrix& b) const override;
-
-  /// Runs only the pre-process and reports the bin populations.
-  Result<ReorganizerReport> Analyze(const sparse::CsrMatrix& a,
-                                    const sparse::CsrMatrix& b,
-                                    const gpusim::DeviceSpec& device) const;
+  Result<sparse::CsrMatrix> ComputeImpl(const sparse::CsrMatrix& a,
+                                        const sparse::CsrMatrix& b,
+                                        spgemm::ExecContext* ctx) const override;
 
  private:
   ReorganizerConfig config_;
   std::string name_;
 };
 
-/// Convenience factory used by the benchmark suite.
-std::unique_ptr<spgemm::SpGemmAlgorithm> MakeBlockReorganizer(
+/// Convenience factory used by the benchmark suite and the CLI. Validates
+/// `config` first (see ReorganizerConfig::Validate) and refuses to build
+/// an algorithm around nonsense knobs.
+Result<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeBlockReorganizer(
     ReorganizerConfig config = {}, std::string display_name = "");
+
+/// Registers the Block Reorganizer family ("reorganizer" plus the
+/// single-technique ablation variants "reorganizer-limiting",
+/// "reorganizer-splitting", "reorganizer-gathering") in
+/// spgemm::AlgorithmRegistry::Global(). Idempotent; call before querying
+/// the registry for core-layer algorithms.
+void RegisterCoreAlgorithms();
 
 }  // namespace core
 }  // namespace spnet

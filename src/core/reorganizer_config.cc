@@ -1,0 +1,41 @@
+#include "core/reorganizer_config.h"
+
+#include <string>
+
+#include "common/math_util.h"
+
+namespace spnet {
+namespace core {
+
+Status ReorganizerConfig::Validate() const {
+  if (!(alpha > 0.0)) {
+    return Status::InvalidArgument(
+        "reorganizer alpha must be > 0, got " + std::to_string(alpha));
+  }
+  if (!(beta > 0.0)) {
+    return Status::InvalidArgument("reorganizer beta must be > 0, got " +
+                                   std::to_string(beta));
+  }
+  if (splitting_factor_override < 0 ||
+      (splitting_factor_override > 0 &&
+       !IsPow2(static_cast<int64_t>(splitting_factor_override)))) {
+    return Status::InvalidArgument(
+        "splitting_factor_override must be 0 (heuristic) or a power of two, "
+        "got " +
+        std::to_string(splitting_factor_override));
+  }
+  if (limiting_extra_shmem < 0) {
+    return Status::InvalidArgument(
+        "limiting_extra_shmem must be >= 0, got " +
+        std::to_string(limiting_extra_shmem));
+  }
+  if (block_size <= 0 || block_size % 32 != 0) {
+    return Status::InvalidArgument(
+        "block_size must be a positive multiple of 32, got " +
+        std::to_string(block_size));
+  }
+  return Status::Ok();
+}
+
+}  // namespace core
+}  // namespace spnet

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/status.h"
+
 namespace spnet {
 namespace core {
 
@@ -40,6 +42,14 @@ struct ReorganizerConfig {
 
   /// Thread block size for expansion and merge kernels.
   int block_size = 256;
+
+  /// Checks the knobs are usable before an algorithm is built around
+  /// them: alpha/beta strictly positive, splitting_factor_override zero
+  /// (heuristic) or a power of two, limiting_extra_shmem non-negative,
+  /// block_size a positive multiple of the 32-lane warp.
+  /// MakeBlockReorganizer and AutoTune refuse invalid configs with this
+  /// Status instead of silently running with nonsense thresholds.
+  Status Validate() const;
 };
 
 }  // namespace core

@@ -1,48 +1,47 @@
 #include "core/suite.h"
 
+#include "common/logging.h"
 #include "core/block_reorganizer.h"
+#include "spgemm/algorithm_registry.h"
 
 namespace spnet {
 namespace core {
 
-std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeAllAlgorithms() {
+namespace {
+
+/// Builds a suite from registry names, preserving list order (the plot
+/// order of the paper figures). Every name here is registered above with
+/// a statically valid config, so creation failures are programming
+/// errors.
+std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> FromRegistry(
+    std::initializer_list<const char*> names) {
+  RegisterCoreAlgorithms();
+  auto& registry = spgemm::AlgorithmRegistry::Global();
   std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> algorithms;
-  algorithms.push_back(spgemm::MakeRowProduct());
-  algorithms.push_back(spgemm::MakeOuterProduct());
-  algorithms.push_back(spgemm::MakeCusparseLike());
-  algorithms.push_back(spgemm::MakeCuspLike());
-  algorithms.push_back(spgemm::MakeBhsparseLike());
-  algorithms.push_back(spgemm::MakeMklLike());
-  algorithms.push_back(MakeBlockReorganizer());
+  for (const char* name : names) {
+    auto algorithm = registry.Create(name);
+    SPNET_CHECK(algorithm.ok()) << algorithm.status().ToString();
+    algorithms.push_back(std::move(algorithm).value());
+  }
   return algorithms;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeAllAlgorithms() {
+  return FromRegistry({"row-product", "outer-product", "cusparse", "cusp",
+                       "bhsparse", "mkl", "reorganizer"});
 }
 
 std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeExtendedSuite() {
-  auto algorithms = MakeAllAlgorithms();
-  algorithms.push_back(spgemm::MakeAcSpGemmLike());
-  algorithms.push_back(spgemm::MakeNsparseLike());
-  return algorithms;
+  return FromRegistry({"row-product", "outer-product", "cusparse", "cusp",
+                       "bhsparse", "mkl", "reorganizer", "acspgemm",
+                       "nsparse"});
 }
 
 std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeAblationSuite() {
-  std::vector<std::unique_ptr<spgemm::SpGemmAlgorithm>> algorithms;
-  ReorganizerConfig limiting_only;
-  limiting_only.enable_splitting = false;
-  limiting_only.enable_gathering = false;
-  algorithms.push_back(MakeBlockReorganizer(limiting_only, "B-Limiting"));
-
-  ReorganizerConfig splitting_only;
-  splitting_only.enable_gathering = false;
-  splitting_only.enable_limiting = false;
-  algorithms.push_back(MakeBlockReorganizer(splitting_only, "B-Splitting"));
-
-  ReorganizerConfig gathering_only;
-  gathering_only.enable_splitting = false;
-  gathering_only.enable_limiting = false;
-  algorithms.push_back(MakeBlockReorganizer(gathering_only, "B-Gathering"));
-
-  algorithms.push_back(MakeBlockReorganizer({}, "Block-Reorganizer"));
-  return algorithms;
+  return FromRegistry({"reorganizer-limiting", "reorganizer-splitting",
+                       "reorganizer-gathering", "reorganizer"});
 }
 
 }  // namespace core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "spgemm/exec_context.h"
 
 namespace spnet {
 namespace core {
@@ -27,7 +28,9 @@ void AppendTo(std::vector<Index>* out, const std::vector<Index>& chunk) {
 }  // namespace
 
 Classification Classify(const spgemm::Workload& workload,
-                        const ReorganizerConfig& config) {
+                        const ReorganizerConfig& config,
+                        spgemm::ExecContext* ctx) {
+  metrics::ScopedSpan span(spgemm::TraceOf(ctx), "classify");
   Classification c;
   ThreadPool& pool = GlobalThreadPool();
   const int64_t pairs = static_cast<int64_t>(workload.pair_work.size());
@@ -116,6 +119,21 @@ Classification Classify(const spgemm::Workload& workload,
         AppendTo(&acc, partial);
         return acc;
       });
+
+  spgemm::SetGauge(ctx, "classifier.nonzero_pairs",
+                   static_cast<double>(nonzero_pairs));
+  spgemm::SetGauge(ctx, "classifier.dominators",
+                   static_cast<double>(c.dominators.size()));
+  spgemm::SetGauge(ctx, "classifier.low_performers",
+                   static_cast<double>(c.low_performers.size()));
+  spgemm::SetGauge(ctx, "classifier.normals",
+                   static_cast<double>(c.normals.size()));
+  spgemm::SetGauge(ctx, "classifier.limited_rows",
+                   static_cast<double>(c.limited_rows.size()));
+  spgemm::SetGauge(ctx, "classifier.dominator_threshold",
+                   static_cast<double>(c.dominator_threshold));
+  spgemm::SetGauge(ctx, "classifier.limit_row_threshold",
+                   static_cast<double>(c.limit_row_threshold));
   return c;
 }
 

@@ -9,6 +9,10 @@
 #include "spgemm/workload_model.h"
 
 namespace spnet {
+namespace spgemm {
+struct ExecContext;
+}  // namespace spgemm
+
 namespace core {
 
 /// The Block Reorganizer's pre-process output (paper Fig. 4): every
@@ -36,8 +40,13 @@ struct Classification {
 /// A pair is a dominator when pair_work > dominator threshold; otherwise a
 /// low performer when its effective thread count (nnz of the B row) is
 /// below the warp size; otherwise normal. Zero-work pairs are dropped.
+///
+/// With a context, records a "classify" span plus classifier.* gauges
+/// (bin populations and both thresholds). Gauges, not counters: Plan and
+/// Compute both classify, and re-derivation must not double-count.
 Classification Classify(const spgemm::Workload& workload,
-                        const ReorganizerConfig& config);
+                        const ReorganizerConfig& config,
+                        spgemm::ExecContext* ctx = nullptr);
 
 }  // namespace core
 }  // namespace spnet

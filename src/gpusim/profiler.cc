@@ -3,8 +3,30 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "metrics/registry.h"
+
 namespace spnet {
 namespace gpusim {
+
+namespace {
+
+void ExportStats(metrics::Registry* registry, const std::string& prefix,
+                 const KernelStats& stats) {
+  registry->SetGauge(prefix + ".cycles", stats.cycles);
+  registry->SetGauge(prefix + ".ms", stats.seconds * 1e3);
+  registry->SetGauge(prefix + ".blocks",
+                     static_cast<double>(stats.num_blocks));
+  registry->SetGauge(prefix + ".warps", static_cast<double>(stats.num_warps));
+  registry->SetGauge(prefix + ".occupancy", stats.avg_resident_blocks);
+  registry->SetGauge(prefix + ".sync_stall_fraction",
+                     stats.SyncStallFraction());
+  registry->SetGauge(prefix + ".l2_gbs", stats.L2ReadThroughputGBs() +
+                                             stats.L2WriteThroughputGBs());
+  registry->SetGauge(prefix + ".lbi", stats.Lbi());
+  registry->SetGauge(prefix + ".sm_utilization", stats.SmUtilization());
+}
+
+}  // namespace
 
 Status Profiler::Profile(const std::vector<KernelDesc>& kernels) {
   profiles_.clear();
@@ -69,6 +91,25 @@ std::string Profiler::SmHistogram(size_t kernel_index, int width) const {
     out += line;
   }
   return out;
+}
+
+void Profiler::ExportMetrics(metrics::Registry* registry,
+                             const std::string& prefix) const {
+  if (registry == nullptr) return;
+  // Duplicate labels within one pipeline (e.g. several merge kernels)
+  // get a positional suffix so each keeps its own gauges.
+  std::vector<std::string> seen;
+  for (const KernelProfile& p : profiles_) {
+    std::string label = p.label;
+    const size_t duplicates =
+        static_cast<size_t>(std::count(seen.begin(), seen.end(), p.label));
+    seen.push_back(p.label);
+    if (duplicates > 0) label += "#" + std::to_string(duplicates);
+    ExportStats(registry, prefix + "." + label, p.stats);
+  }
+  ExportStats(registry, prefix + ".total", Total());
+  registry->SetGauge(prefix + ".kernels",
+                     static_cast<double>(profiles_.size()));
 }
 
 }  // namespace gpusim

@@ -10,6 +10,10 @@
 #include "gpusim/simulator.h"
 
 namespace spnet {
+namespace metrics {
+class Registry;
+}  // namespace metrics
+
 namespace gpusim {
 
 /// One kernel's line in a profile report.
@@ -41,6 +45,15 @@ class Profiler {
   /// profiles()), the Figure 3(a)-style view. `width` is the bar length of
   /// the busiest SM.
   std::string SmHistogram(size_t kernel_index, int width = 40) const;
+
+  /// Publishes the recorded profiles into a metrics registry under
+  /// `<prefix>.<kernel-label>.*` gauges (cycles, milliseconds, blocks,
+  /// occupancy, sync-stall fraction, L2 throughput, LBI) plus
+  /// `<prefix>.total.*` aggregates. Takes a Registry rather than an
+  /// ExecContext because gpusim sits below the spgemm layer; callers pass
+  /// `&ctx->registry`. No-op when `registry` is null.
+  void ExportMetrics(metrics::Registry* registry,
+                     const std::string& prefix = "profiler") const;
 
  private:
   Simulator simulator_;

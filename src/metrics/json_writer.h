@@ -1,0 +1,63 @@
+#ifndef SPNET_METRICS_JSON_WRITER_H_
+#define SPNET_METRICS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spnet {
+namespace metrics {
+
+/// Minimal streaming JSON writer — the whole serialization surface of the
+/// observability layer (registry dumps, trace spans, bench result files)
+/// goes through this class, so the emitted schema stays in one place and
+/// needs no third-party dependency.
+///
+/// Usage is push-style and the caller is responsible for well-formed
+/// nesting; the writer handles commas, key/value ordering within a
+/// container, string escaping, and non-finite doubles (emitted as null,
+/// since JSON has no Inf/NaN).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value or
+  /// container.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document so far. Valid once every container has been closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Inserts the separating comma when a value follows a sibling.
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true until the first element lands.
+  std::vector<bool> first_in_container_;
+  bool after_key_ = false;
+};
+
+/// Escapes a string for embedding in a JSON document (quotes, backslashes,
+/// control characters).
+std::string EscapeJson(const std::string& s);
+
+/// Writes `content` to `path` atomically enough for result files
+/// (truncate + write + close); returns IoError on failure.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace metrics
+}  // namespace spnet
+
+#endif  // SPNET_METRICS_JSON_WRITER_H_

@@ -1,0 +1,165 @@
+#include "metrics/registry.h"
+
+#include <bit>
+
+#include "metrics/json_writer.h"
+
+namespace spnet {
+namespace metrics {
+
+namespace {
+
+int BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  // bit_width(1) == 1, bit_width(2..3) == 2, ... so bucket i covers
+  // [2^(i-1), 2^i - 1].
+  return std::bit_width(static_cast<uint64_t>(value));
+}
+
+}  // namespace
+
+void Histogram::Observe(int64_t value) {
+  const int index =
+      BucketIndex(value) < kBuckets ? BucketIndex(value) : kBuckets - 1;
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::min() const {
+  const int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+
+int64_t Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  if (i >= 63) return INT64_MAX;
+  return (int64_t{1} << i) - 1;
+}
+
+Registry::Entry* Registry::FindOrCreate(const std::string& name, Kind kind) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == kind ? &it->second : nullptr;
+  }
+  Entry& entry = entries_[name];
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindOrCreate(name, Kind::kCounter);
+  return entry == nullptr ? nullptr : entry->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindOrCreate(name, Kind::kGauge);
+  return entry == nullptr ? nullptr : entry->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindOrCreate(name, Kind::kHistogram);
+  return entry == nullptr ? nullptr : entry->histogram.get();
+}
+
+void Registry::AddCounter(const std::string& name, int64_t delta) {
+  if (Counter* c = GetCounter(name)) c->Add(delta);
+}
+
+void Registry::SetGauge(const std::string& name, double value) {
+  if (Gauge* g = GetGauge(name)) g->Set(value);
+}
+
+void Registry::ObserveHistogram(const std::string& name, int64_t value) {
+  if (Histogram* h = GetHistogram(name)) h->Observe(value);
+}
+
+std::map<std::string, double> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out[name] = static_cast<double>(entry.counter->value());
+        break;
+      case Kind::kGauge:
+        out[name] = entry.gauge->value();
+        break;
+      case Kind::kHistogram:
+        out[name + ".count"] = static_cast<double>(entry.histogram->count());
+        out[name + ".sum"] = static_cast<double>(entry.histogram->sum());
+        break;
+    }
+  }
+  return out;
+}
+
+void Registry::AppendJson(JsonWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kCounter) continue;
+    w->Key(name).Int(entry.counter->value());
+  }
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kGauge) continue;
+    w->Key(name).Double(entry.gauge->value());
+  }
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kHistogram) continue;
+    const Histogram& h = *entry.histogram;
+    w->Key(name).BeginObject();
+    w->Key("count").Int(h.count());
+    w->Key("sum").Int(h.sum());
+    w->Key("min").Int(h.min());
+    w->Key("max").Int(h.count() > 0 ? h.max() : 0);
+    w->Key("buckets").BeginArray();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      w->BeginObject();
+      w->Key("le").Int(Histogram::BucketUpperBound(i));
+      w->Key("count").Int(h.bucket(i));
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string Registry::ToJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.str();
+}
+
+}  // namespace metrics
+}  // namespace spnet

@@ -1,0 +1,123 @@
+#ifndef SPNET_METRICS_REGISTRY_H_
+#define SPNET_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spnet {
+namespace metrics {
+
+class JsonWriter;
+
+/// Monotonic event count. Add() is a single relaxed atomic RMW, cheap
+/// enough for per-row hot paths.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins scalar. Set() is idempotent, which makes gauges the
+/// right instrument for facts re-derived on every pass (classifier
+/// populations, chosen thresholds): running Plan and Compute against the
+/// same context records them once each but reads back a single value
+/// instead of a double-counted sum.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed histogram of non-negative integer observations. Bucket i
+/// holds values whose bit width is i, i.e. [2^(i-1), 2^i - 1] for i >= 1
+/// and {0} for bucket 0 — coarse, but constant-size and lock-free, which
+/// is what a per-row hot path can afford. Also tracks count/sum/min/max
+/// exactly.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Minimum observed value; 0 when empty.
+  int64_t min() const;
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (2^i - 1; bucket 0 holds only 0).
+  static int64_t BucketUpperBound(int i);
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+};
+
+/// Named instrument store. Lookup takes a mutex (do it once, outside the
+/// loop); the returned instrument pointers are stable for the registry's
+/// lifetime and update lock-free. A name maps to exactly one instrument
+/// kind: asking for an existing name with a different kind returns
+/// nullptr, which callers must treat as "metric disabled".
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Convenience wrappers tolerating kind collisions (no-op then).
+  void AddCounter(const std::string& name, int64_t delta);
+  void SetGauge(const std::string& name, double value);
+  void ObserveHistogram(const std::string& name, int64_t value);
+
+  /// Snapshot of scalar values for tests and text reporting; histograms
+  /// are reported via their count and sum.
+  std::map<std::string, double> Snapshot() const;
+
+  /// Appends {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// as a single JSON object value. Keys are sorted (std::map order), so
+  /// the output is stable across runs.
+  void AppendJson(JsonWriter* w) const;
+
+  /// The registry serialized as a standalone JSON document.
+  std::string ToJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace metrics
+}  // namespace spnet
+
+#endif  // SPNET_METRICS_REGISTRY_H_

@@ -23,6 +23,9 @@ class Table {
   /// Renders as CSV (for plotting scripts).
   std::string ToCsv() const;
 
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,95 @@
+#include "metrics/trace.h"
+
+#include <cstdio>
+
+#include "metrics/json_writer.h"
+
+namespace spnet {
+namespace metrics {
+
+TraceRecorder::TraceRecorder() : origin_(std::chrono::steady_clock::now()) {
+  spans_.reserve(64);
+}
+
+double TraceRecorder::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+int TraceRecorder::Begin(const std::string& name) {
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return -1;
+  }
+  TraceSpan span;
+  span.name = name;
+  span.depth = static_cast<int>(open_.size());
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.start_ms = NowMs();
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(id);
+  return id;
+}
+
+void TraceRecorder::End(int id) {
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  const double now = NowMs();
+  // Close any deeper spans left open (e.g. early returns between Begin
+  // and the guard's destructor order) along with the target itself.
+  while (!open_.empty() && open_.back() >= id) {
+    TraceSpan& span = spans_[open_.back()];
+    if (span.duration_ms < 0.0) span.duration_ms = now - span.start_ms;
+    open_.pop_back();
+  }
+}
+
+void TraceRecorder::AppendJson(JsonWriter* w) const {
+  w->BeginArray();
+  for (const TraceSpan& span : spans_) {
+    w->BeginObject();
+    w->Key("name").String(span.name);
+    w->Key("depth").Int(span.depth);
+    w->Key("parent").Int(span.parent);
+    w->Key("start_ms").Double(span.start_ms);
+    if (span.duration_ms < 0.0) {
+      w->Key("dur_ms").Null();
+    } else {
+      w->Key("dur_ms").Double(span.duration_ms);
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+std::string TraceRecorder::ToJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.str();
+}
+
+std::string TraceRecorder::ToPrettyString() const {
+  std::string out;
+  char buf[160];
+  for (const TraceSpan& span : spans_) {
+    std::string indent(static_cast<size_t>(span.depth) * 2, ' ');
+    if (span.duration_ms < 0.0) {
+      std::snprintf(buf, sizeof(buf), "%s%s  (open)\n", indent.c_str(),
+                    span.name.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s%-24s %10.3f ms\n", indent.c_str(),
+                    span.name.c_str(), span.duration_ms);
+    }
+    out += buf;
+  }
+  if (dropped_ > 0) {
+    std::snprintf(buf, sizeof(buf), "(+%lld spans dropped past cap)\n",
+                  static_cast<long long>(dropped_));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace spnet

@@ -1,0 +1,92 @@
+#ifndef SPNET_METRICS_TRACE_H_
+#define SPNET_METRICS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spnet {
+namespace metrics {
+
+class JsonWriter;
+
+/// One closed (or still-open) wall-clock span. Spans are stored in
+/// begin order; `parent` indexes into the same vector (-1 for roots) and
+/// `depth` is the nesting level, so consumers can re-indent without
+/// rebuilding the tree.
+struct TraceSpan {
+  std::string name;
+  int depth = 0;
+  int parent = -1;
+  double start_ms = 0.0;
+  /// -1 while the span is still open.
+  double duration_ms = -1.0;
+};
+
+/// Records nested wall-clock spans (load -> classify -> split -> gather ->
+/// expand -> merge -> simulate). Not thread-safe: spans describe the
+/// orchestrating thread's stages; per-task work inside the pool is
+/// aggregated through Registry counters instead.
+///
+/// The recorder caps itself at kMaxSpans to keep multi-dataset bench
+/// sweeps bounded; further Begin() calls are counted in dropped_spans()
+/// and return -1.
+class TraceRecorder {
+ public:
+  static constexpr size_t kMaxSpans = 4096;
+
+  TraceRecorder();
+
+  /// Opens a span nested under the innermost open span. Returns the span
+  /// id to pass to End(), or -1 if the recorder is full.
+  int Begin(const std::string& name);
+
+  /// Closes the given span (no-op for id < 0). Closing a span implicitly
+  /// closes any deeper spans still open inside it.
+  void End(int id);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  int64_t dropped_spans() const { return dropped_; }
+
+  /// Appends [{"name":..., "depth":..., "start_ms":..., "dur_ms":...}, ...]
+  /// as a single JSON array value. Open spans serialize with dur_ms null.
+  void AppendJson(JsonWriter* w) const;
+  std::string ToJson() const;
+
+  /// Indented human-readable rendering for --trace.
+  std::string ToPrettyString() const;
+
+ private:
+  double NowMs() const;
+
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<TraceSpan> spans_;
+  /// Ids of currently-open spans, outermost first.
+  std::vector<int> open_;
+  int64_t dropped_ = 0;
+};
+
+/// RAII span guard. Tolerates a null recorder (records nothing), which is
+/// what lets instrumented code run unchanged when no ExecContext is
+/// attached.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, const std::string& name)
+      : recorder_(recorder),
+        id_(recorder == nullptr ? -1 : recorder->Begin(name)) {}
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->End(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  int id_;
+};
+
+}  // namespace metrics
+}  // namespace spnet
+
+#endif  // SPNET_METRICS_TRACE_H_

@@ -29,8 +29,9 @@ class AcSpGemmLike : public SpGemmAlgorithm {
  public:
   std::string name() const override { return "AC-spGEMM"; }
 
-  Result<SpGemmPlan> Plan(const CsrMatrix& a, const CsrMatrix& b,
-                          const gpusim::DeviceSpec&) const override {
+  Result<SpGemmPlan> PlanImpl(const CsrMatrix& a, const CsrMatrix& b,
+                              const gpusim::DeviceSpec&,
+                              ExecContext*) const override {
     if (a.cols() != b.rows()) {
       return Status::InvalidArgument("dimension mismatch in AC-spGEMM plan");
     }
@@ -66,8 +67,8 @@ class AcSpGemmLike : public SpGemmAlgorithm {
     return plan;
   }
 
-  Result<CsrMatrix> Compute(const CsrMatrix& a,
-                            const CsrMatrix& b) const override {
+  Result<CsrMatrix> ComputeImpl(const CsrMatrix& a, const CsrMatrix& b,
+                                ExecContext*) const override {
     return RowProductExpandMerge(a, b);
   }
 };

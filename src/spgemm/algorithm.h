@@ -14,10 +14,20 @@
 namespace spnet {
 namespace spgemm {
 
+struct ExecContext;
+
 /// One spGEMM implementation under evaluation: it can (1) really compute
 /// C = A*B on the host, structured the way the algorithm structures the
 /// work (expansion + merge), and (2) emit the workload plan its GPU
 /// execution would dispatch, for the SIMT timing model.
+///
+/// The entry points follow the non-virtual-interface pattern: callers use
+/// the public Plan/Compute, which accept an optional ExecContext for
+/// observability (trace spans around each call, thread-pool counters) and
+/// delegate to the protected virtuals. Implementations override
+/// PlanImpl/ComputeImpl and may record their own pass-level metrics
+/// against the context; a null context must be (and is, via the
+/// null-tolerant helpers in exec_context.h) a cheap no-op.
 class SpGemmAlgorithm {
  public:
   virtual ~SpGemmAlgorithm() = default;
@@ -26,21 +36,37 @@ class SpGemmAlgorithm {
   virtual std::string name() const = 0;
 
   /// Builds the simulation plan for C = A*B on `device`.
-  virtual Result<SpGemmPlan> Plan(const sparse::CsrMatrix& a,
-                                  const sparse::CsrMatrix& b,
-                                  const gpusim::DeviceSpec& device) const = 0;
+  Result<SpGemmPlan> Plan(const sparse::CsrMatrix& a,
+                          const sparse::CsrMatrix& b,
+                          const gpusim::DeviceSpec& device,
+                          ExecContext* ctx = nullptr) const;
 
   /// Functionally computes C = A*B (host execution of the same algorithm
   /// structure); validated against ReferenceSpGemm in the test suite.
-  virtual Result<sparse::CsrMatrix> Compute(const sparse::CsrMatrix& a,
-                                            const sparse::CsrMatrix& b) const = 0;
+  Result<sparse::CsrMatrix> Compute(const sparse::CsrMatrix& a,
+                                    const sparse::CsrMatrix& b,
+                                    ExecContext* ctx = nullptr) const;
+
+ protected:
+  virtual Result<SpGemmPlan> PlanImpl(const sparse::CsrMatrix& a,
+                                      const sparse::CsrMatrix& b,
+                                      const gpusim::DeviceSpec& device,
+                                      ExecContext* ctx) const = 0;
+
+  virtual Result<sparse::CsrMatrix> ComputeImpl(const sparse::CsrMatrix& a,
+                                                const sparse::CsrMatrix& b,
+                                                ExecContext* ctx) const = 0;
 };
 
-/// Simulates `algorithm` on `device` and returns the timing profile.
+/// Simulates `algorithm` on `device` and returns the timing profile. With
+/// a context, records a "measure:<name>" span (planning nested inside, the
+/// kernel-simulation loop under "simulate") plus sim.* counters and
+/// measure.* gauges.
 Result<SpGemmMeasurement> Measure(const SpGemmAlgorithm& algorithm,
                                   const sparse::CsrMatrix& a,
                                   const sparse::CsrMatrix& b,
-                                  const gpusim::DeviceSpec& device);
+                                  const gpusim::DeviceSpec& device,
+                                  ExecContext* ctx = nullptr);
 
 /// The named baselines individually. (core/suite.h assembles the full
 /// Figure 8/9 comparison including the Block Reorganizer.)

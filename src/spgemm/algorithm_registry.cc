@@ -1,0 +1,86 @@
+#include "spgemm/algorithm_registry.h"
+
+namespace spnet {
+namespace spgemm {
+
+Status AlgorithmRegistry::Register(const std::string& name, Factory factory) {
+  if (factories_.count(name) != 0 || aliases_.count(name) != 0) {
+    return Status::AlreadyExists("algorithm already registered: " + name);
+  }
+  factories_[name] = std::move(factory);
+  return Status::Ok();
+}
+
+Status AlgorithmRegistry::RegisterAlias(const std::string& alias,
+                                        const std::string& target) {
+  if (factories_.count(alias) != 0 || aliases_.count(alias) != 0) {
+    return Status::AlreadyExists("algorithm already registered: " + alias);
+  }
+  if (factories_.count(target) == 0) {
+    return Status::NotFound("alias target not registered: " + target);
+  }
+  aliases_[alias] = target;
+  return Status::Ok();
+}
+
+bool AlgorithmRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) != 0 || aliases_.count(name) != 0;
+}
+
+Result<std::unique_ptr<SpGemmAlgorithm>> AlgorithmRegistry::Create(
+    const std::string& name) const {
+  auto alias_it = aliases_.find(name);
+  const std::string& canonical =
+      alias_it == aliases_.end() ? name : alias_it->second;
+  auto it = factories_.find(canonical);
+  if (it == factories_.end()) {
+    return Status::NotFound("unknown algorithm: " + name +
+                            " (known: " + NamesLine() + ")");
+  }
+  return it->second();
+}
+
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;  // std::map iteration order: already sorted
+}
+
+std::string AlgorithmRegistry::NamesLine() const {
+  std::string line;
+  for (const std::string& name : Names()) {
+    if (!line.empty()) line += ", ";
+    line += name;
+  }
+  return line;
+}
+
+AlgorithmRegistry& AlgorithmRegistry::Global() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    auto add = [r](const std::string& name,
+                   std::unique_ptr<SpGemmAlgorithm> (*make)()) {
+      const Status s =
+          r->Register(name, [make]() -> Result<std::unique_ptr<SpGemmAlgorithm>> {
+            return make();
+          });
+      (void)s;  // seeding a fresh registry cannot collide
+    };
+    add("row-product", MakeRowProduct);
+    add("outer-product", MakeOuterProduct);
+    add("cusparse", MakeCusparseLike);
+    add("cusp", MakeCuspLike);
+    add("bhsparse", MakeBhsparseLike);
+    add("mkl", MakeMklLike);
+    add("acspgemm", MakeAcSpGemmLike);
+    add("nsparse", MakeNsparseLike);
+    (void)r->RegisterAlias("row", "row-product");
+    (void)r->RegisterAlias("outer", "outer-product");
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace spgemm
+}  // namespace spnet

@@ -1,0 +1,62 @@
+#ifndef SPNET_SPGEMM_ALGORITHM_REGISTRY_H_
+#define SPNET_SPGEMM_ALGORITHM_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "spgemm/algorithm.h"
+
+namespace spnet {
+namespace spgemm {
+
+/// Central name -> factory map for spGEMM algorithms, replacing the
+/// duplicated if-chains in the CLI and the suite builders. Factories
+/// return Result so config-validating constructors (the Block
+/// Reorganizer) can refuse to build.
+///
+/// Canonical names are the CLI spellings ("row-product", "cusparse",
+/// "reorganizer", ...); aliases ("row", "outer") resolve to a canonical
+/// entry but do not appear in Names(). The registry is not thread-safe
+/// for registration — register everything at startup, query freely after.
+class AlgorithmRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<SpGemmAlgorithm>>()>;
+
+  /// Registers a factory; AlreadyExists if the name (canonical or alias)
+  /// is taken.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Registers an alternate spelling for an existing canonical name.
+  Status RegisterAlias(const std::string& alias, const std::string& target);
+
+  bool Contains(const std::string& name) const;
+
+  /// Instantiates the named algorithm; NotFound lists the valid names.
+  Result<std::unique_ptr<SpGemmAlgorithm>> Create(
+      const std::string& name) const;
+
+  /// Canonical names in sorted order (aliases excluded) — help text.
+  std::vector<std::string> Names() const;
+
+  /// One sorted "a, b, c" string for error messages and --help.
+  std::string NamesLine() const;
+
+  /// The process-wide registry, pre-seeded with the eight spgemm-layer
+  /// baselines. The Block Reorganizer lives in core (a higher layer), so
+  /// core::RegisterCoreAlgorithms() adds it on top; the CLI and suite
+  /// builders call that before querying.
+  static AlgorithmRegistry& Global();
+
+ private:
+  std::map<std::string, Factory> factories_;
+  std::map<std::string, std::string> aliases_;
+};
+
+}  // namespace spgemm
+}  // namespace spnet
+
+#endif  // SPNET_SPGEMM_ALGORITHM_REGISTRY_H_

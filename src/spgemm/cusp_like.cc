@@ -58,8 +58,9 @@ class CuspLikeSpGemm : public SpGemmAlgorithm {
  public:
   std::string name() const override { return "CUSP"; }
 
-  Result<SpGemmPlan> Plan(const CsrMatrix& a, const CsrMatrix& b,
-                          const gpusim::DeviceSpec&) const override {
+  Result<SpGemmPlan> PlanImpl(const CsrMatrix& a, const CsrMatrix& b,
+                              const gpusim::DeviceSpec&,
+                              ExecContext*) const override {
     if (a.cols() != b.rows()) {
       return Status::InvalidArgument("dimension mismatch in CUSP plan");
     }
@@ -98,8 +99,8 @@ class CuspLikeSpGemm : public SpGemmAlgorithm {
     return plan;
   }
 
-  Result<CsrMatrix> Compute(const CsrMatrix& a,
-                            const CsrMatrix& b) const override {
+  Result<CsrMatrix> ComputeImpl(const CsrMatrix& a, const CsrMatrix& b,
+                                ExecContext*) const override {
     // The ESC result equals the plain product; the host path shares the
     // expansion structure.
     return RowProductExpandMerge(a, b);

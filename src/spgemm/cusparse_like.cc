@@ -25,8 +25,9 @@ class CusparseLikeSpGemm : public SpGemmAlgorithm {
  public:
   std::string name() const override { return "cuSPARSE"; }
 
-  Result<SpGemmPlan> Plan(const CsrMatrix& a, const CsrMatrix& b,
-                          const gpusim::DeviceSpec&) const override {
+  Result<SpGemmPlan> PlanImpl(const CsrMatrix& a, const CsrMatrix& b,
+                              const gpusim::DeviceSpec&,
+                              ExecContext*) const override {
     if (a.cols() != b.rows()) {
       return Status::InvalidArgument("dimension mismatch in cuSPARSE plan");
     }
@@ -88,8 +89,8 @@ class CusparseLikeSpGemm : public SpGemmAlgorithm {
     return plan;
   }
 
-  Result<CsrMatrix> Compute(const CsrMatrix& a,
-                            const CsrMatrix& b) const override {
+  Result<CsrMatrix> ComputeImpl(const CsrMatrix& a, const CsrMatrix& b,
+                                ExecContext*) const override {
     // Functionally the two-phase scheme produces the plain product; the
     // row-product host path shares the expansion structure.
     return RowProductExpandMerge(a, b);

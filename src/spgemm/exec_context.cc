@@ -1,0 +1,69 @@
+#include "spgemm/exec_context.h"
+
+#include "common/parallel.h"
+#include "metrics/json_writer.h"
+
+namespace spnet {
+namespace spgemm {
+
+std::string ExecContext::ToJson() const {
+  metrics::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("metrics");
+  registry.AppendJson(&w);
+  w.Key("trace");
+  trace.AppendJson(&w);
+  w.EndObject();
+  return w.str();
+}
+
+Status ExecContext::WriteJsonFile(const std::string& path) const {
+  return metrics::WriteTextFile(path, ToJson());
+}
+
+void AddCounter(ExecContext* ctx, const std::string& name, int64_t delta) {
+  if (ctx != nullptr) ctx->registry.AddCounter(name, delta);
+}
+
+void SetGauge(ExecContext* ctx, const std::string& name, double value) {
+  if (ctx != nullptr) ctx->registry.SetGauge(name, value);
+}
+
+void ObserveHistogram(ExecContext* ctx, const std::string& name,
+                      int64_t value) {
+  if (ctx != nullptr) ctx->registry.ObserveHistogram(name, value);
+}
+
+metrics::TraceRecorder* TraceOf(ExecContext* ctx) {
+  return ctx == nullptr ? nullptr : &ctx->trace;
+}
+
+ScopedPoolStats::ScopedPoolStats(ExecContext* ctx) : ctx_(ctx) {
+  if (ctx_ == nullptr) return;
+  if (ctx_->pool_scope_depth++ > 0) return;  // inner scope: no-op
+  const ThreadPool::Stats s = GlobalThreadPool().stats();
+  start_parallel_jobs_ = s.parallel_jobs;
+  start_inline_jobs_ = s.inline_jobs;
+  start_chunks_run_ = s.chunks_run;
+  start_chunks_stolen_ = s.chunks_stolen;
+}
+
+ScopedPoolStats::~ScopedPoolStats() {
+  if (ctx_ == nullptr) return;
+  if (--ctx_->pool_scope_depth > 0) return;
+  const ThreadPool::Stats s = GlobalThreadPool().stats();
+  ctx_->registry.AddCounter("pool.parallel_jobs",
+                            s.parallel_jobs - start_parallel_jobs_);
+  ctx_->registry.AddCounter("pool.inline_jobs",
+                            s.inline_jobs - start_inline_jobs_);
+  ctx_->registry.AddCounter("pool.chunks_run",
+                            s.chunks_run - start_chunks_run_);
+  ctx_->registry.AddCounter("pool.chunks_stolen",
+                            s.chunks_stolen - start_chunks_stolen_);
+  ctx_->registry.SetGauge("pool.threads",
+                          static_cast<double>(GlobalThreadCount()));
+}
+
+}  // namespace spgemm
+}  // namespace spnet

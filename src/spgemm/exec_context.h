@@ -1,0 +1,73 @@
+#ifndef SPNET_SPGEMM_EXEC_CONTEXT_H_
+#define SPNET_SPGEMM_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "metrics/registry.h"
+#include "metrics/trace.h"
+
+namespace spnet {
+namespace spgemm {
+
+/// Per-execution observability bundle threaded through Plan/Compute/
+/// Measure and the Block Reorganizer passes. Every instrumented API takes
+/// an `ExecContext*` defaulted to nullptr: a null context records nothing
+/// and costs one pointer test per instrumentation site, so existing call
+/// sites keep working and hot paths stay hot.
+///
+/// The context is designed for one logical execution (one CLI command, one
+/// bench measurement). Counters accumulate across everything run against
+/// the context; pass-level facts that are re-derived by both Plan and
+/// Compute (classifier populations, chosen thresholds and factors) are
+/// recorded as gauges so re-running a pass overwrites instead of
+/// double-counting.
+struct ExecContext {
+  metrics::Registry registry;
+  metrics::TraceRecorder trace;
+
+  /// Nesting depth of active ScopedPoolStats scopes; only the outermost
+  /// scope publishes pool deltas (Measure wraps Plan, which opens its own
+  /// scope — without this the same chunks would be counted twice).
+  int pool_scope_depth = 0;
+
+  /// Serializes {"metrics": {...}, "trace": [...]} as a standalone JSON
+  /// document (the payload of --metrics_out).
+  std::string ToJson() const;
+
+  /// ToJson() written to `path`.
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+/// Null-tolerant instrumentation helpers: each is a no-op when `ctx` is
+/// null, so instrumented code never branches on nullability itself.
+void AddCounter(ExecContext* ctx, const std::string& name, int64_t delta);
+void SetGauge(ExecContext* ctx, const std::string& name, double value);
+void ObserveHistogram(ExecContext* ctx, const std::string& name,
+                      int64_t value);
+metrics::TraceRecorder* TraceOf(ExecContext* ctx);
+
+/// RAII guard that diffs GlobalThreadPool().stats() across its lifetime
+/// into `pool.*` counters (jobs, chunks, steals). Nestable: only the
+/// outermost guard on a context publishes, inner guards are no-ops.
+/// Tolerates a null context.
+class ScopedPoolStats {
+ public:
+  explicit ScopedPoolStats(ExecContext* ctx);
+  ~ScopedPoolStats();
+  ScopedPoolStats(const ScopedPoolStats&) = delete;
+  ScopedPoolStats& operator=(const ScopedPoolStats&) = delete;
+
+ private:
+  ExecContext* ctx_;
+  int64_t start_parallel_jobs_ = 0;
+  int64_t start_inline_jobs_ = 0;
+  int64_t start_chunks_run_ = 0;
+  int64_t start_chunks_stolen_ = 0;
+};
+
+}  // namespace spgemm
+}  // namespace spnet
+
+#endif  // SPNET_SPGEMM_EXEC_CONTEXT_H_

@@ -30,8 +30,9 @@ class MklLikeSpGemm : public SpGemmAlgorithm {
  public:
   std::string name() const override { return "MKL"; }
 
-  Result<SpGemmPlan> Plan(const CsrMatrix& a, const CsrMatrix& b,
-                          const gpusim::DeviceSpec&) const override {
+  Result<SpGemmPlan> PlanImpl(const CsrMatrix& a, const CsrMatrix& b,
+                              const gpusim::DeviceSpec&,
+                              ExecContext*) const override {
     if (a.cols() != b.rows()) {
       return Status::InvalidArgument("dimension mismatch in MKL plan");
     }
@@ -58,8 +59,8 @@ class MklLikeSpGemm : public SpGemmAlgorithm {
     return plan;  // no device kernels
   }
 
-  Result<CsrMatrix> Compute(const CsrMatrix& a,
-                            const CsrMatrix& b) const override {
+  Result<CsrMatrix> ComputeImpl(const CsrMatrix& a, const CsrMatrix& b,
+                                ExecContext*) const override {
     return RowProductExpandMerge(a, b);
   }
 };

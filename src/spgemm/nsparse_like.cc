@@ -30,8 +30,9 @@ class NsparseLike : public SpGemmAlgorithm {
  public:
   std::string name() const override { return "nsparse-hash"; }
 
-  Result<SpGemmPlan> Plan(const CsrMatrix& a, const CsrMatrix& b,
-                          const gpusim::DeviceSpec&) const override {
+  Result<SpGemmPlan> PlanImpl(const CsrMatrix& a, const CsrMatrix& b,
+                              const gpusim::DeviceSpec&,
+                              ExecContext*) const override {
     if (a.cols() != b.rows()) {
       return Status::InvalidArgument("dimension mismatch in nsparse plan");
     }
@@ -91,8 +92,8 @@ class NsparseLike : public SpGemmAlgorithm {
     return plan;
   }
 
-  Result<CsrMatrix> Compute(const CsrMatrix& a,
-                            const CsrMatrix& b) const override {
+  Result<CsrMatrix> ComputeImpl(const CsrMatrix& a, const CsrMatrix& b,
+                                ExecContext*) const override {
     // A hash-accumulated product equals the plain product; the host path
     // shares the row-centric structure.
     return RowProductExpandMerge(a, b);

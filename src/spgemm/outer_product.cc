@@ -28,9 +28,10 @@ KernelDesc BuildOuterProductExpansion(const Workload& workload,
   return kernel;
 }
 
-Result<SpGemmPlan> OuterProductSpGemm::Plan(const CsrMatrix& a,
-                                            const CsrMatrix& b,
-                                            const gpusim::DeviceSpec&) const {
+Result<SpGemmPlan> OuterProductSpGemm::PlanImpl(const CsrMatrix& a,
+                                                const CsrMatrix& b,
+                                                const gpusim::DeviceSpec&,
+                                                ExecContext*) const {
   if (a.cols() != b.rows()) {
     return Status::InvalidArgument("dimension mismatch in outer-product plan");
   }
@@ -51,8 +52,9 @@ Result<SpGemmPlan> OuterProductSpGemm::Plan(const CsrMatrix& a,
   return plan;
 }
 
-Result<CsrMatrix> OuterProductSpGemm::Compute(const CsrMatrix& a,
-                                              const CsrMatrix& b) const {
+Result<CsrMatrix> OuterProductSpGemm::ComputeImpl(const CsrMatrix& a,
+                                                  const CsrMatrix& b,
+                                                  ExecContext*) const {
   return OuterProductExpandMerge(a, b);
 }
 

@@ -17,12 +17,15 @@ class OuterProductSpGemm : public SpGemmAlgorithm {
  public:
   std::string name() const override { return "outer-product"; }
 
-  Result<SpGemmPlan> Plan(const sparse::CsrMatrix& a,
-                          const sparse::CsrMatrix& b,
-                          const gpusim::DeviceSpec& device) const override;
+ protected:
+  Result<SpGemmPlan> PlanImpl(const sparse::CsrMatrix& a,
+                              const sparse::CsrMatrix& b,
+                              const gpusim::DeviceSpec& device,
+                              ExecContext* ctx) const override;
 
-  Result<sparse::CsrMatrix> Compute(const sparse::CsrMatrix& a,
-                                    const sparse::CsrMatrix& b) const override;
+  Result<sparse::CsrMatrix> ComputeImpl(const sparse::CsrMatrix& a,
+                                        const sparse::CsrMatrix& b,
+                                        ExecContext* ctx) const override;
 };
 
 /// Builds the plain outer-product expansion kernel: one block per nonzero

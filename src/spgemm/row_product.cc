@@ -165,9 +165,10 @@ KernelDesc BuildRowProductExpansion(const Workload& workload,
   return kernel;
 }
 
-Result<SpGemmPlan> RowProductSpGemm::Plan(const CsrMatrix& a,
-                                          const CsrMatrix& b,
-                                          const gpusim::DeviceSpec&) const {
+Result<SpGemmPlan> RowProductSpGemm::PlanImpl(const CsrMatrix& a,
+                                              const CsrMatrix& b,
+                                              const gpusim::DeviceSpec&,
+                                              ExecContext*) const {
   if (a.cols() != b.rows()) {
     return Status::InvalidArgument("dimension mismatch in row-product plan");
   }
@@ -193,8 +194,9 @@ Result<SpGemmPlan> RowProductSpGemm::Plan(const CsrMatrix& a,
   return plan;
 }
 
-Result<CsrMatrix> RowProductSpGemm::Compute(const CsrMatrix& a,
-                                            const CsrMatrix& b) const {
+Result<CsrMatrix> RowProductSpGemm::ComputeImpl(const CsrMatrix& a,
+                                                const CsrMatrix& b,
+                                                ExecContext*) const {
   return RowProductExpandMerge(a, b);
 }
 

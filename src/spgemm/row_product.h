@@ -16,12 +16,15 @@ class RowProductSpGemm : public SpGemmAlgorithm {
  public:
   std::string name() const override { return "row-product"; }
 
-  Result<SpGemmPlan> Plan(const sparse::CsrMatrix& a,
-                          const sparse::CsrMatrix& b,
-                          const gpusim::DeviceSpec& device) const override;
+ protected:
+  Result<SpGemmPlan> PlanImpl(const sparse::CsrMatrix& a,
+                              const sparse::CsrMatrix& b,
+                              const gpusim::DeviceSpec& device,
+                              ExecContext* ctx) const override;
 
-  Result<sparse::CsrMatrix> Compute(const sparse::CsrMatrix& a,
-                                    const sparse::CsrMatrix& b) const override;
+  Result<sparse::CsrMatrix> ComputeImpl(const sparse::CsrMatrix& a,
+                                        const sparse::CsrMatrix& b,
+                                        ExecContext* ctx) const override;
 };
 
 /// Knobs for the row-product expansion kernel builder, used to express

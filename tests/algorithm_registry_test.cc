@@ -1,0 +1,143 @@
+// Tests for the central algorithm registry: baseline seeding, aliasing,
+// duplicate and unknown names, the core registrations layered on top, and
+// the ReorganizerConfig validation that gates algorithm construction.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/block_reorganizer.h"
+#include "core/reorganizer_config.h"
+#include "core/suite.h"
+#include "spgemm/algorithm.h"
+#include "spgemm/algorithm_registry.h"
+
+#include "gtest/gtest.h"
+
+namespace spnet {
+namespace {
+
+TEST(AlgorithmRegistryTest, GlobalSeedsBaselines) {
+  auto& registry = spgemm::AlgorithmRegistry::Global();
+  for (const char* name : {"row-product", "outer-product", "cusparse",
+                           "cusp", "bhsparse", "mkl", "acspgemm",
+                           "nsparse"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+    auto algorithm = registry.Create(name);
+    ASSERT_TRUE(algorithm.ok()) << name;
+    ASSERT_NE(*algorithm, nullptr) << name;
+  }
+}
+
+TEST(AlgorithmRegistryTest, AliasesResolveToSameAlgorithm) {
+  auto& registry = spgemm::AlgorithmRegistry::Global();
+  auto by_alias = registry.Create("row");
+  auto by_name = registry.Create("row-product");
+  ASSERT_TRUE(by_alias.ok());
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ((*by_alias)->name(), (*by_name)->name());
+}
+
+TEST(AlgorithmRegistryTest, UnknownNameIsNotFoundAndListsChoices) {
+  auto& registry = spgemm::AlgorithmRegistry::Global();
+  auto algorithm = registry.Create("no-such-algorithm");
+  ASSERT_FALSE(algorithm.ok());
+  EXPECT_EQ(algorithm.status().code(), StatusCode::kNotFound);
+  // The error is self-serve: it names the valid choices.
+  EXPECT_NE(algorithm.status().message().find("row-product"),
+            std::string::npos);
+}
+
+TEST(AlgorithmRegistryTest, DuplicateRegistrationIsRejected) {
+  auto& registry = spgemm::AlgorithmRegistry::Global();
+  const Status s = registry.Register("row-product", [] {
+    return Result<std::unique_ptr<spgemm::SpGemmAlgorithm>>(
+        spgemm::MakeRowProduct());
+  });
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  // The original entry survives.
+  auto algorithm = registry.Create("row-product");
+  ASSERT_TRUE(algorithm.ok());
+}
+
+TEST(AlgorithmRegistryTest, NamesAreSortedAndComplete) {
+  core::RegisterCoreAlgorithms();
+  auto& registry = spgemm::AlgorithmRegistry::Global();
+  const std::vector<std::string> names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected :
+       {"reorganizer", "reorganizer-limiting", "reorganizer-splitting",
+        "reorganizer-gathering"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  // RegisterCoreAlgorithms is idempotent: calling it again must not die
+  // on duplicate names.
+  core::RegisterCoreAlgorithms();
+}
+
+TEST(AlgorithmRegistryTest, SuitesPreservePlotOrder) {
+  const auto suite = core::MakeAblationSuite();
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0]->name(), "B-Limiting");
+  EXPECT_EQ(suite[1]->name(), "B-Splitting");
+  EXPECT_EQ(suite[2]->name(), "B-Gathering");
+  EXPECT_EQ(suite[3]->name(), "Block-Reorganizer");
+
+  const auto all = core::MakeAllAlgorithms();
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front()->name(), "row-product");
+  EXPECT_EQ(all.back()->name(), "Block-Reorganizer");
+}
+
+TEST(ReorganizerConfigTest, DefaultConfigValidates) {
+  EXPECT_TRUE(core::ReorganizerConfig().Validate().ok());
+}
+
+TEST(ReorganizerConfigTest, RejectsBadKnobs) {
+  {
+    core::ReorganizerConfig config;
+    config.alpha = 0.0;
+    EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    core::ReorganizerConfig config;
+    config.beta = -1.0;
+    EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    core::ReorganizerConfig config;
+    config.splitting_factor_override = 3;  // not a power of two
+    EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    core::ReorganizerConfig config;
+    config.splitting_factor_override = 64;  // power of two: fine
+    EXPECT_TRUE(config.Validate().ok());
+  }
+  {
+    core::ReorganizerConfig config;
+    config.limiting_extra_shmem = -1;
+    EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    core::ReorganizerConfig config;
+    config.block_size = 48;  // not a multiple of the warp size
+    EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ReorganizerConfigTest, MakeBlockReorganizerReportsInvalidConfig) {
+  core::ReorganizerConfig config;
+  config.alpha = -2.0;
+  auto algorithm = core::MakeBlockReorganizer(config);
+  ASSERT_FALSE(algorithm.ok());
+  EXPECT_EQ(algorithm.status().code(), StatusCode::kInvalidArgument);
+
+  auto valid = core::MakeBlockReorganizer(core::ReorganizerConfig());
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ((*valid)->name(), "Block-Reorganizer");
+}
+
+}  // namespace
+}  // namespace spnet

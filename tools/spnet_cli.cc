@@ -14,7 +14,15 @@
 // Omitting --b computes C = A^2. Files ending in .spnb use the binary
 // container; anything else is treated as Matrix Market. Every command
 // accepts --threads=<n> to size the host thread pool (default: hardware
-// concurrency).
+// concurrency). Algorithm names come from spgemm::AlgorithmRegistry; pass
+// a bogus --algorithm to have the error list them.
+//
+// Observability (multiply / profile / classify):
+//   --metrics_out=<path>  write the execution's metrics registry + trace
+//                         spans as JSON
+//   --trace               print the span tree (load -> classify -> split
+//                         -> gather -> expand -> merge -> simulate) after
+//                         the command
 
 #include <cstdio>
 #include <memory>
@@ -34,6 +42,8 @@
 #include "sparse/serialization.h"
 #include "sparse/stats.h"
 #include "spgemm/algorithm.h"
+#include "spgemm/algorithm_registry.h"
+#include "spgemm/exec_context.h"
 
 namespace spnet {
 namespace {
@@ -67,16 +77,15 @@ gpusim::DeviceSpec DeviceFromFlags(const FlagParser& flags) {
 Result<std::unique_ptr<spgemm::SpGemmAlgorithm>> AlgorithmFromFlags(
     const FlagParser& flags, const CsrMatrix& a, const CsrMatrix& b,
     const gpusim::DeviceSpec& device) {
+  core::RegisterCoreAlgorithms();
   const std::string name = flags.GetString("algorithm", "reorganizer");
-  if (name == "row" || name == "row-product") return spgemm::MakeRowProduct();
-  if (name == "outer" || name == "outer-product") {
-    return spgemm::MakeOuterProduct();
-  }
-  if (name == "cusparse") return spgemm::MakeCusparseLike();
-  if (name == "cusp") return spgemm::MakeCuspLike();
-  if (name == "bhsparse") return spgemm::MakeBhsparseLike();
-  if (name == "mkl") return spgemm::MakeMklLike();
-  if (name == "reorganizer") {
+  // The reorganizer's knobs are flag-configurable; any other name (and
+  // the default knobs) resolves through the registry. An invalid config
+  // surfaces as MakeBlockReorganizer's Status instead of silently running
+  // with nonsense thresholds.
+  if (name == "reorganizer" &&
+      (flags.GetBool("auto_tune", false) || flags.Has("alpha") ||
+       flags.Has("beta"))) {
     core::ReorganizerConfig config;
     if (flags.GetBool("auto_tune", false)) {
       SPNET_ASSIGN_OR_RETURN(config, core::AutoTune(a, b, device));
@@ -85,9 +94,25 @@ Result<std::unique_ptr<spgemm::SpGemmAlgorithm>> AlgorithmFromFlags(
     }
     config.alpha = flags.GetDouble("alpha", config.alpha);
     config.beta = flags.GetDouble("beta", config.beta);
-    return {core::MakeBlockReorganizer(config)};
+    return core::MakeBlockReorganizer(config);
   }
-  return Status::InvalidArgument("unknown algorithm: " + name);
+  return spgemm::AlgorithmRegistry::Global().Create(name);
+}
+
+/// Shared tail of the observability-aware commands: honors --metrics_out
+/// (JSON dump of the context) and --trace (pretty span tree on stdout).
+/// Returns non-OK only when the JSON file cannot be written.
+Status EmitObservability(const FlagParser& flags,
+                         const spgemm::ExecContext& ctx) {
+  if (flags.GetBool("trace", false)) {
+    std::printf("trace:\n%s", ctx.trace.ToPrettyString().c_str());
+  }
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!metrics_out.empty()) {
+    SPNET_RETURN_IF_ERROR(ctx.WriteJsonFile(metrics_out));
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return Status::Ok();
 }
 
 int Fail(const Status& status) {
@@ -96,22 +121,25 @@ int Fail(const Status& status) {
 }
 
 int CmdMultiply(const FlagParser& flags) {
+  spgemm::ExecContext ctx;
+  const int load_span = ctx.trace.Begin("load");
   auto a = Load(flags.GetString("a", ""));
   if (!a.ok()) return Fail(a.status());
   Result<CsrMatrix> b = flags.Has("b") ? Load(flags.GetString("b", ""))
                                        : Result<CsrMatrix>(*a);
   if (!b.ok()) return Fail(b.status());
+  ctx.trace.End(load_span);
   const gpusim::DeviceSpec device = DeviceFromFlags(flags);
   auto algorithm = AlgorithmFromFlags(flags, *a, *b, device);
   if (!algorithm.ok()) return Fail(algorithm.status());
 
   Timer timer;
-  auto c = (*algorithm)->Compute(*a, *b);
+  auto c = (*algorithm)->Compute(*a, *b, &ctx);
   if (!c.ok()) return Fail(c.status());
   std::printf("C: %d x %d, %lld nonzeros (host compute %.3f s)\n", c->rows(),
               c->cols(), static_cast<long long>(c->nnz()), timer.Seconds());
 
-  auto m = spgemm::Measure(**algorithm, *a, *b, device);
+  auto m = spgemm::Measure(**algorithm, *a, *b, device, &ctx);
   if (!m.ok()) return Fail(m.status());
   std::printf("simulated %s: %.3f ms (%.1f GFLOPS)\n", device.name.c_str(),
               m->total_seconds * 1e3, m->Gflops());
@@ -122,21 +150,26 @@ int CmdMultiply(const FlagParser& flags) {
     if (!s.ok()) return Fail(s);
     std::printf("wrote %s\n", out.c_str());
   }
+  const Status obs = EmitObservability(flags, ctx);
+  if (!obs.ok()) return Fail(obs);
   return 0;
 }
 
 int CmdProfile(const FlagParser& flags) {
+  spgemm::ExecContext ctx;
+  const int load_span = ctx.trace.Begin("load");
   auto a = Load(flags.GetString("a", ""));
   if (!a.ok()) return Fail(a.status());
   Result<CsrMatrix> b = flags.Has("b") ? Load(flags.GetString("b", ""))
                                        : Result<CsrMatrix>(*a);
   if (!b.ok()) return Fail(b.status());
+  ctx.trace.End(load_span);
   const gpusim::DeviceSpec device = DeviceFromFlags(flags);
 
   metrics::Table table({"algorithm", "total ms", "expansion ms", "merge ms",
                         "GFLOPS", "stall %", "LBI"});
   for (const auto& alg : core::MakeAllAlgorithms()) {
-    auto m = spgemm::Measure(*alg, *a, *b, device);
+    auto m = spgemm::Measure(*alg, *a, *b, device, &ctx);
     if (!m.ok()) return Fail(m.status());
     table.AddRow({alg->name(), metrics::FormatDouble(m->total_seconds * 1e3, 3),
                   metrics::FormatDouble(m->expansion.seconds * 1e3, 3),
@@ -151,11 +184,12 @@ int CmdProfile(const FlagParser& flags) {
   if (flags.GetBool("detail", false)) {
     // nvprof-style per-kernel report + SM histogram for the reorganizer.
     core::BlockReorganizerSpGemm reorganizer;
-    auto plan = reorganizer.Plan(*a, *b, device);
+    auto plan = reorganizer.Plan(*a, *b, device, &ctx);
     if (!plan.ok()) return Fail(plan.status());
     gpusim::Profiler profiler(device);
     const Status s = profiler.Profile(plan->kernels);
     if (!s.ok()) return Fail(s);
+    profiler.ExportMetrics(&ctx.registry);
     std::printf("\nBlock Reorganizer kernel breakdown:\n%s",
                 profiler.ReportTable().c_str());
     for (size_t i = 0; i < profiler.profiles().size(); ++i) {
@@ -166,6 +200,8 @@ int CmdProfile(const FlagParser& flags) {
       }
     }
   }
+  const Status obs = EmitObservability(flags, ctx);
+  if (!obs.ok()) return Fail(obs);
   return 0;
 }
 
@@ -182,8 +218,9 @@ int CmdClassify(const FlagParser& flags) {
               stats.mean_nnz, static_cast<long long>(stats.max_nnz),
               stats.gini);
 
+  spgemm::ExecContext ctx;
   core::BlockReorganizerSpGemm reorganizer;
-  auto report = reorganizer.Analyze(*a, *b, DeviceFromFlags(flags));
+  auto report = reorganizer.Analyze(*a, *b, DeviceFromFlags(flags), &ctx);
   if (!report.ok()) return Fail(report.status());
   std::printf("pairs: %lld total | %lld dominators | %lld low performers | "
               "%lld normal\n",
@@ -196,6 +233,8 @@ int CmdClassify(const FlagParser& flags) {
               static_cast<long long>(report->fragments),
               static_cast<long long>(report->combined_blocks),
               static_cast<long long>(report->limited_rows));
+  const Status obs = EmitObservability(flags, ctx);
+  if (!obs.ok()) return Fail(obs);
   return 0;
 }
 
