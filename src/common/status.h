@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -68,6 +69,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

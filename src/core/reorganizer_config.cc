@@ -1,11 +1,32 @@
 #include "core/reorganizer_config.h"
 
+#include <cstring>
 #include <string>
 
 #include "common/math_util.h"
 
 namespace spnet {
 namespace core {
+
+namespace {
+
+uint64_t FnvMix(uint64_t h, uint64_t bits) {
+  constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (bits >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvMixDouble(uint64_t h, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return FnvMix(h, bits);
+}
+
+}  // namespace
 
 Status ReorganizerConfig::Validate() const {
   if (!(alpha > 0.0)) {
@@ -35,6 +56,19 @@ Status ReorganizerConfig::Validate() const {
         std::to_string(block_size));
   }
   return Status::Ok();
+}
+
+uint64_t ReorganizerConfig::Fingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  h = FnvMix(h, (enable_splitting ? 1ULL : 0ULL) |
+                    (enable_gathering ? 2ULL : 0ULL) |
+                    (enable_limiting ? 4ULL : 0ULL));
+  h = FnvMixDouble(h, alpha);
+  h = FnvMixDouble(h, beta);
+  h = FnvMix(h, static_cast<uint64_t>(splitting_factor_override));
+  h = FnvMix(h, static_cast<uint64_t>(limiting_extra_shmem));
+  h = FnvMix(h, static_cast<uint64_t>(block_size));
+  return h;
 }
 
 }  // namespace core

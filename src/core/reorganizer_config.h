@@ -50,6 +50,11 @@ struct ReorganizerConfig {
   /// MakeBlockReorganizer and AutoTune refuse invalid configs with this
   /// Status instead of silently running with nonsense thresholds.
   Status Validate() const;
+
+  /// 64-bit hash over every knob, deterministic across runs. Part of the
+  /// engine::PlanCache key: two reorganizer instances with different knobs
+  /// must never share a cached plan.
+  uint64_t Fingerprint() const;
 };
 
 }  // namespace core

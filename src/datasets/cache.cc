@@ -15,6 +15,21 @@ std::string CachePath(const RealWorldSpec& spec, double scale,
   return cache_dir + "/" + spec.name + suffix;
 }
 
+namespace {
+
+/// True when a cache entry could have been produced by Materialize(spec,
+/// scale): exact target dimensions, and an actual nnz within a factor of
+/// two of the requested one (the generators dedupe, so nnz is approximate
+/// but never off by 2x). Anything else is a stale file left behind by an
+/// older generator or an edited spec and must not be served.
+bool MatchesSpec(const sparse::CsrMatrix& m, const MaterializeTarget& target) {
+  if (m.rows() != target.dim || m.cols() != target.dim) return false;
+  const int64_t nnz = m.nnz();
+  return nnz > 0 && nnz <= 2 * target.nnz && 2 * nnz >= target.nnz;
+}
+
+}  // namespace
+
 Result<sparse::CsrMatrix> MaterializeCached(const RealWorldSpec& spec,
                                             double scale,
                                             const std::string& cache_dir,
@@ -22,12 +37,15 @@ Result<sparse::CsrMatrix> MaterializeCached(const RealWorldSpec& spec,
   if (cache_dir.empty()) {
     return Materialize(spec, scale, seed);
   }
+  SPNET_ASSIGN_OR_RETURN(const MaterializeTarget target,
+                         MaterializeTargetFor(spec, scale));
   const std::string path = CachePath(spec, scale, cache_dir, seed);
   auto cached = sparse::ReadBinary(path);
-  if (cached.ok()) {
+  if (cached.ok() && MatchesSpec(*cached, target)) {
     return cached;
   }
-  // Miss (or a corrupted entry): regenerate and try to refresh the cache.
+  // Miss (corrupted, or a parseable-but-stale entry whose shape no longer
+  // matches the spec at this scale): regenerate and refresh the cache.
   // A failed write is non-fatal — the generated matrix is still returned.
   SPNET_ASSIGN_OR_RETURN(sparse::CsrMatrix m,
                          Materialize(spec, scale, seed));

@@ -13,7 +13,9 @@ namespace datasets {
 /// the first call generates and stores the matrix under
 /// `<cache_dir>/<name>_s<scale>_seed<seed>.spnb`; later calls load it in
 /// O(nnz) with no generation work. An unreadable or corrupted cache entry
-/// is regenerated, never trusted.
+/// is regenerated, never trusted — and so is a parseable entry whose
+/// dimensions or nnz no longer match what Materialize(spec, scale) would
+/// produce (a stale file from an older generator is a miss, not a hit).
 ///
 /// Pass an empty `cache_dir` to bypass the cache entirely (pure
 /// generation). The directory must already exist.

@@ -97,16 +97,26 @@ std::vector<std::string> StanfordDatasetNames() {
           "stanford",   "patents_main"};
 }
 
-Result<CsrMatrix> Materialize(const RealWorldSpec& spec, double scale,
-                              uint64_t seed) {
+Result<MaterializeTarget> MaterializeTargetFor(const RealWorldSpec& spec,
+                                               double scale) {
   if (scale <= 0.0 || scale > 4.0) {
     return Status::InvalidArgument("scale must be in (0, 4]");
   }
-  const Index dim = std::max<Index>(
+  MaterializeTarget target;
+  target.dim = std::max<Index>(
       64, static_cast<Index>(std::llround(spec.dim * scale)));
-  const int64_t nnz = std::max<int64_t>(
+  target.nnz = std::max<int64_t>(
       64, static_cast<int64_t>(std::llround(
               static_cast<double>(spec.nnz) * scale)));
+  return target;
+}
+
+Result<CsrMatrix> Materialize(const RealWorldSpec& spec, double scale,
+                              uint64_t seed) {
+  SPNET_ASSIGN_OR_RETURN(const MaterializeTarget target,
+                         MaterializeTargetFor(spec, scale));
+  const Index dim = target.dim;
+  const int64_t nnz = target.nnz;
   if (spec.family == Family::kFloridaRegular) {
     QuasiRegularParams p;
     p.n = dim;

@@ -45,6 +45,18 @@ Result<RealWorldSpec> FindDataset(const std::string& name);
 /// The 10 Stanford (skewed) dataset names used by Figures 11, 12 and 14.
 std::vector<std::string> StanfordDatasetNames();
 
+/// The exact dimension and requested nnz Materialize derives from
+/// (spec, scale). The generated matrix is always `dim` x `dim`; its actual
+/// nnz lands near (not exactly at) `nnz` because the generators dedupe.
+/// datasets::MaterializeCached validates disk entries against this target
+/// so stale files from an older generator or edited spec are not served.
+struct MaterializeTarget {
+  sparse::Index dim = 0;
+  int64_t nnz = 0;
+};
+Result<MaterializeTarget> MaterializeTargetFor(const RealWorldSpec& spec,
+                                               double scale);
+
 /// Generates the stand-in matrix for `spec`, linearly scaled: dimensions
 /// and nnz are multiplied by `scale` (1.0 = paper size). Deterministic for
 /// a given (spec, scale, seed).

@@ -1,0 +1,232 @@
+#include "engine/batch_runner.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/block_reorganizer.h"
+#include "metrics/trace.h"
+#include "sparse/fingerprint.h"
+#include "spgemm/algorithm_registry.h"
+
+namespace spnet {
+namespace engine {
+
+BatchRunner::BatchRunner(BatchOptions options)
+    : options_(std::move(options)),
+      reorganizer_config_fp_(options_.reorganizer_config.Fingerprint()),
+      cache_(options_.plan_cache_capacity) {
+  core::RegisterCoreAlgorithms();
+}
+
+const BatchRunner::AlgorithmEntry& BatchRunner::ResolveAlgorithm(
+    const std::string& name) {
+  auto it = resolved_.find(name);
+  if (it != resolved_.end()) return it->second;
+
+  AlgorithmEntry entry;
+  // "reorganizer" honors the runner's configured knobs; everything else
+  // (baselines and the ablation variants) resolves through the registry
+  // with its registered defaults.
+  auto created =
+      name == "reorganizer"
+          ? core::MakeBlockReorganizer(options_.reorganizer_config)
+          : spgemm::AlgorithmRegistry::Global().Create(name);
+  if (created.ok()) {
+    auto owned = std::move(created).value();
+    entry.algorithm = owned.get();
+    instances_[name] = std::move(owned);
+  } else {
+    entry.status = created.status();
+  }
+  return resolved_.emplace(name, std::move(entry)).first->second;
+}
+
+void BatchRunner::RunOne(const BatchQuery& query, uint64_t fp_a,
+                         uint64_t fp_b, const AlgorithmEntry& primary,
+                         const AlgorithmEntry& fallback,
+                         spgemm::ExecContext* ctx, QueryResult* result) {
+  Timer timer;
+  result->id = query.id;
+  const double deadline_ms = query.deadline_ms > 0.0
+                                 ? query.deadline_ms
+                                 : options_.default_deadline_ms;
+  const auto expired = [&] {
+    return deadline_ms > 0.0 && timer.Seconds() * 1e3 > deadline_ms;
+  };
+
+  // Graceful degradation step 1: a query whose algorithm could not be
+  // built (unknown name, invalid reorganizer config) runs on the fallback
+  // baseline instead of failing.
+  const spgemm::SpGemmAlgorithm* algorithm = primary.algorithm;
+  std::string name = query.algorithm;
+  if (algorithm == nullptr) {
+    if (fallback.algorithm == nullptr || query.algorithm ==
+                                             options_.fallback_algorithm) {
+      result->status = primary.status;
+      result->wall_ms = timer.Seconds() * 1e3;
+      return;
+    }
+    result->fallback_used = true;
+    algorithm = fallback.algorithm;
+    name = options_.fallback_algorithm;
+  }
+
+  std::shared_ptr<const spgemm::SpGemmPlan> plan;
+  while (true) {
+    PlanKey key{fp_a, fp_b, name,
+                name == "reorganizer" ? reorganizer_config_fp_ : 0};
+    plan = cache_.Lookup(key, ctx);
+    if (plan != nullptr) {
+      result->plan_cache_hit = true;
+      break;
+    }
+    if (expired()) {
+      result->status = Status::DeadlineExceeded(
+          query.id + " expired before planning");
+      result->wall_ms = timer.Seconds() * 1e3;
+      return;
+    }
+    // Worker threads pass a null context into Plan: the ExecContext's
+    // TraceRecorder and pool-stats scope are single-threaded, and the
+    // engine.* counters above already cover the batch path.
+    auto planned = algorithm->Plan(*query.a, query.b ? *query.b : *query.a,
+                                   options_.device, nullptr);
+    if (planned.ok()) {
+      plan = cache_.Insert(key, std::move(planned).value(), ctx);
+      break;
+    }
+    // Graceful degradation step 2: a failed Plan retries once on the
+    // fallback baseline.
+    if (!result->fallback_used && fallback.algorithm != nullptr &&
+        name != options_.fallback_algorithm) {
+      result->fallback_used = true;
+      algorithm = fallback.algorithm;
+      name = options_.fallback_algorithm;
+      continue;
+    }
+    result->status = planned.status();
+    result->wall_ms = timer.Seconds() * 1e3;
+    return;
+  }
+  result->algorithm_used = name;
+
+  if (expired()) {
+    result->status =
+        Status::DeadlineExceeded(query.id + " expired before simulation");
+    result->wall_ms = timer.Seconds() * 1e3;
+    return;
+  }
+  auto measured = spgemm::SimulatePlan(*plan, options_.device, nullptr);
+  if (!measured.ok()) {
+    result->status = measured.status();
+    result->wall_ms = timer.Seconds() * 1e3;
+    return;
+  }
+  result->sim_ms = measured->total_seconds * 1e3;
+  result->gflops = measured->Gflops();
+  result->flops = measured->flops;
+  result->output_nnz = measured->output_nnz;
+  result->wall_ms = timer.Seconds() * 1e3;
+}
+
+Result<BatchReport> BatchRunner::Run(const std::vector<BatchQuery>& queries,
+                                     spgemm::ExecContext* ctx) {
+  metrics::ScopedSpan batch_span(spgemm::TraceOf(ctx), "engine:batch");
+  Timer timer;
+  const int64_t hits_before = cache_.hits();
+  const int64_t misses_before = cache_.misses();
+  const int64_t evictions_before = cache_.evictions();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].a == nullptr) {
+      return Status::InvalidArgument("query " + std::to_string(i) + " (" +
+                                     queries[i].id + ") has no A matrix");
+    }
+  }
+  const AlgorithmEntry& fallback =
+      ResolveAlgorithm(options_.fallback_algorithm);
+  if (fallback.algorithm == nullptr) {
+    return Status(fallback.status.code(),
+                  "fallback algorithm '" + options_.fallback_algorithm +
+                      "' cannot be built: " + fallback.status.message());
+  }
+  // Serial prepass: resolve every distinct algorithm once so the parallel
+  // phase only reads the memo maps.
+  std::vector<const AlgorithmEntry*> primaries(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    primaries[i] = &ResolveAlgorithm(queries[i].algorithm);
+  }
+
+  // Fingerprint each distinct matrix once, in parallel — a manifest that
+  // repeats one graph N times hashes it once, not N times.
+  std::unordered_map<const sparse::CsrMatrix*, uint64_t> fingerprints;
+  for (const BatchQuery& q : queries) {
+    fingerprints.emplace(q.a.get(), 0);
+    if (q.b != nullptr) fingerprints.emplace(q.b.get(), 0);
+  }
+  std::vector<const sparse::CsrMatrix*> distinct;
+  distinct.reserve(fingerprints.size());
+  for (const auto& [m, fp] : fingerprints) distinct.push_back(m);
+  {
+    metrics::ScopedSpan span(spgemm::TraceOf(ctx), "engine:fingerprint");
+    SPNET_RETURN_IF_ERROR(ParallelFor(
+        0, static_cast<int64_t>(distinct.size()), 1,
+        [&](int64_t begin, int64_t end, int) {
+          for (int64_t i = begin; i < end; ++i) {
+            fingerprints[distinct[static_cast<size_t>(i)]] =
+                sparse::StructuralFingerprint(*distinct[static_cast<size_t>(i)]);
+          }
+          return Status::Ok();
+        }));
+  }
+
+  BatchReport report;
+  report.results.resize(queries.size());
+  {
+    metrics::ScopedSpan span(spgemm::TraceOf(ctx), "engine:run");
+    SPNET_RETURN_IF_ERROR(ParallelFor(
+        0, static_cast<int64_t>(queries.size()), 1,
+        [&](int64_t begin, int64_t end, int) {
+          for (int64_t i = begin; i < end; ++i) {
+            const auto idx = static_cast<size_t>(i);
+            const BatchQuery& q = queries[idx];
+            const sparse::CsrMatrix* b = q.b ? q.b.get() : q.a.get();
+            RunOne(q, fingerprints[q.a.get()], fingerprints[b],
+                   *primaries[idx], fallback, ctx, &report.results[idx]);
+          }
+          return Status::Ok();
+        }));
+  }
+
+  for (const QueryResult& r : report.results) {
+    if (r.status.ok()) {
+      ++report.succeeded;
+    } else if (r.status.code() == StatusCode::kDeadlineExceeded) {
+      ++report.deadline_expired;
+    } else {
+      ++report.failed;
+    }
+    if (r.fallback_used) ++report.fallbacks;
+  }
+  report.wall_ms = timer.Seconds() * 1e3;
+  report.plan_cache_hits = cache_.hits() - hits_before;
+  report.plan_cache_misses = cache_.misses() - misses_before;
+  report.plan_cache_evictions = cache_.evictions() - evictions_before;
+
+  spgemm::AddCounter(ctx, "engine.batch.queries",
+                     static_cast<int64_t>(queries.size()));
+  spgemm::AddCounter(ctx, "engine.batch.succeeded", report.succeeded);
+  spgemm::AddCounter(ctx, "engine.batch.failed", report.failed);
+  spgemm::AddCounter(ctx, "engine.batch.fallback", report.fallbacks);
+  spgemm::AddCounter(ctx, "engine.batch.deadline_expired",
+                     report.deadline_expired);
+  spgemm::SetGauge(ctx, "engine.batch.wall_ms", report.wall_ms);
+  spgemm::SetGauge(ctx, "engine.plan_cache.size",
+                   static_cast<double>(cache_.size()));
+  return report;
+}
+
+}  // namespace engine
+}  // namespace spnet

@@ -1,0 +1,142 @@
+#ifndef SPNET_ENGINE_BATCH_RUNNER_H_
+#define SPNET_ENGINE_BATCH_RUNNER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/reorganizer_config.h"
+#include "engine/plan_cache.h"
+#include "gpusim/device_spec.h"
+#include "sparse/csr_matrix.h"
+#include "spgemm/algorithm.h"
+#include "spgemm/exec_context.h"
+
+namespace spnet {
+namespace engine {
+
+/// One query of a batch: measure C = A*B (B null means C = A^2) with the
+/// named algorithm. Matrices are shared immutably so a manifest that
+/// queries the same graph many times loads it once.
+struct BatchQuery {
+  std::string id;
+  std::shared_ptr<const sparse::CsrMatrix> a;
+  /// Null selects A as the second operand (C = A^2, the paper's workload).
+  std::shared_ptr<const sparse::CsrMatrix> b;
+  std::string algorithm = "reorganizer";
+  /// Wall-clock budget for this query in ms; <= 0 inherits
+  /// BatchOptions::default_deadline_ms (and <= 0 there means no deadline).
+  double deadline_ms = 0.0;
+};
+
+/// Outcome of one query. `status` is per-query: a failed or expired query
+/// never fails the batch.
+struct QueryResult {
+  std::string id;
+  Status status;
+  /// Algorithm that actually produced the measurement (the fallback's name
+  /// when degradation kicked in).
+  std::string algorithm_used;
+  bool plan_cache_hit = false;
+  bool fallback_used = false;
+  /// Host wall-clock spent on this query (fingerprint + plan + simulate).
+  double wall_ms = 0.0;
+  /// Simulated end-to-end seconds on the device, as milliseconds.
+  double sim_ms = 0.0;
+  double gflops = 0.0;
+  int64_t flops = 0;
+  int64_t output_nnz = 0;
+};
+
+/// Everything the batch produced, plus the run-level aggregates the CLI
+/// summary line and the bench tables print.
+struct BatchReport {
+  std::vector<QueryResult> results;
+  double wall_ms = 0.0;
+  int64_t succeeded = 0;
+  int64_t failed = 0;
+  int64_t fallbacks = 0;
+  int64_t deadline_expired = 0;
+  /// Plan-cache activity attributable to this Run call (deltas, so
+  /// repeated Run calls on one runner report per-run numbers).
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_evictions = 0;
+};
+
+struct BatchOptions {
+  /// Max plans kept by the runner's LRU cache; 0 disables plan caching.
+  size_t plan_cache_capacity = 64;
+  /// Algorithm used when a query's own algorithm cannot be built or its
+  /// Plan fails (graceful degradation). Must name a registry baseline.
+  std::string fallback_algorithm = "outer-product";
+  /// Knobs for queries naming "reorganizer". Invalid knobs degrade those
+  /// queries to the fallback instead of failing the batch.
+  core::ReorganizerConfig reorganizer_config;
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::TitanXp();
+  /// Deadline applied to queries that do not set their own; <= 0 = none.
+  double default_deadline_ms = 0.0;
+};
+
+/// Executes batches of spGEMM queries concurrently over the global
+/// ThreadPool, reusing plans across queries with the same matrix structure
+/// through a PlanCache.
+///
+/// Per query: fingerprint both operands (memoized per distinct matrix),
+/// look the plan up in the cache, build it on a miss, then simulate on the
+/// configured device. A query whose algorithm cannot be built or whose
+/// Plan fails is retried with the fallback baseline; a query that exceeds
+/// its deadline reports DeadlineExceeded. Both outcomes land in that
+/// query's QueryResult::status — Run itself fails only for malformed input
+/// or an unbuildable fallback.
+///
+/// Observability: Run records engine.batch.* counters and the plan cache
+/// records engine.plan_cache.* counters on the ExecContext's registry
+/// (thread-safe). Trace spans cover the batch stages, not individual
+/// queries — the TraceRecorder is single-threaded by design, so worker
+/// threads do not touch it.
+///
+/// The runner is reusable: consecutive Run calls share the plan cache,
+/// which is what makes a warm batch fast. Concurrent Run calls on one
+/// runner are not supported (the global pool serializes them anyway).
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options);
+
+  Result<BatchReport> Run(const std::vector<BatchQuery>& queries,
+                          spgemm::ExecContext* ctx = nullptr);
+
+  PlanCache& plan_cache() { return cache_; }
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  /// Resolved (and memoized) algorithm instance, or the creation error.
+  struct AlgorithmEntry {
+    const spgemm::SpGemmAlgorithm* algorithm = nullptr;
+    Status status;
+  };
+
+  /// Looks up / creates the named algorithm. Serial-phase only.
+  const AlgorithmEntry& ResolveAlgorithm(const std::string& name);
+
+  void RunOne(const BatchQuery& query, uint64_t fp_a, uint64_t fp_b,
+              const AlgorithmEntry& primary, const AlgorithmEntry& fallback,
+              spgemm::ExecContext* ctx, QueryResult* result);
+
+  BatchOptions options_;
+  uint64_t reorganizer_config_fp_ = 0;
+  PlanCache cache_;
+  /// Memoized algorithm instances, keyed by name. Mutated only between
+  /// batches (ResolveAlgorithm runs before the parallel phase), read-only
+  /// while workers are in flight.
+  std::map<std::string, std::unique_ptr<spgemm::SpGemmAlgorithm>> instances_;
+  std::map<std::string, AlgorithmEntry> resolved_;
+};
+
+}  // namespace engine
+}  // namespace spnet
+
+#endif  // SPNET_ENGINE_BATCH_RUNNER_H_

@@ -1,0 +1,126 @@
+#include "engine/manifest.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "datasets/cache.h"
+#include "datasets/registry.h"
+#include "sparse/matrix_market.h"
+#include "sparse/serialization.h"
+
+namespace spnet {
+namespace engine {
+
+namespace {
+
+constexpr int64_t kMaxRepeat = 100000;
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool LooksLikeFile(const std::string& source) {
+  return source.find('/') != std::string::npos ||
+         EndsWith(source, ".mtx") || EndsWith(source, ".spnb");
+}
+
+Result<sparse::CsrMatrix> LoadSource(const std::string& source,
+                                     const ManifestLoadOptions& options) {
+  if (LooksLikeFile(source)) {
+    return EndsWith(source, ".spnb") ? sparse::ReadBinary(source)
+                                     : sparse::ReadMatrixMarket(source);
+  }
+  SPNET_ASSIGN_OR_RETURN(const datasets::RealWorldSpec spec,
+                         datasets::FindDataset(source));
+  return datasets::MaterializeCached(spec, options.scale,
+                                     options.dataset_cache_dir, options.seed);
+}
+
+}  // namespace
+
+Result<std::vector<ManifestEntry>> ParseManifest(const std::string& content) {
+  std::vector<ManifestEntry> entries;
+  std::istringstream in(content);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+
+    std::istringstream fields(line);
+    ManifestEntry entry;
+    if (!(fields >> entry.source)) continue;  // blank or comment-only line
+    std::string algorithm, repeat, extra;
+    if (fields >> algorithm) entry.algorithm = algorithm;
+    if (fields >> repeat) {
+      char* end = nullptr;
+      entry.repeat = std::strtoll(repeat.c_str(), &end, 10);
+      if (end != repeat.c_str() + repeat.size() || entry.repeat < 1 ||
+          entry.repeat > kMaxRepeat) {
+        return Status::InvalidArgument(
+            "manifest line " + std::to_string(line_number) +
+            ": repeat must be an integer in [1, " +
+            std::to_string(kMaxRepeat) + "], got '" + repeat + "'");
+      }
+    }
+    if (fields >> extra) {
+      return Status::InvalidArgument("manifest line " +
+                                     std::to_string(line_number) +
+                                     ": unexpected token '" + extra + "'");
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Result<std::vector<BatchQuery>> BuildQueries(
+    const std::vector<ManifestEntry>& entries,
+    const ManifestLoadOptions& options) {
+  std::map<std::string, std::shared_ptr<const sparse::CsrMatrix>> loaded;
+  std::vector<BatchQuery> queries;
+  for (const ManifestEntry& entry : entries) {
+    auto it = loaded.find(entry.source);
+    if (it == loaded.end()) {
+      auto m = LoadSource(entry.source, options);
+      if (!m.ok()) {
+        return Status(m.status().code(), "manifest source '" + entry.source +
+                                             "': " + m.status().message());
+      }
+      it = loaded
+               .emplace(entry.source, std::make_shared<const sparse::CsrMatrix>(
+                                          std::move(m).value()))
+               .first;
+    }
+    for (int64_t k = 0; k < entry.repeat; ++k) {
+      BatchQuery q;
+      q.id = entry.source + ":" + entry.algorithm + "#" + std::to_string(k);
+      q.a = it->second;
+      q.algorithm = entry.algorithm;
+      q.deadline_ms = options.deadline_ms;
+      queries.push_back(std::move(q));
+    }
+  }
+  return queries;
+}
+
+Result<std::vector<BatchQuery>> LoadManifest(
+    const std::string& path, const ManifestLoadOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open manifest " + path);
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  SPNET_ASSIGN_OR_RETURN(const std::vector<ManifestEntry> entries,
+                         ParseManifest(content.str()));
+  return BuildQueries(entries, options);
+}
+
+}  // namespace engine
+}  // namespace spnet

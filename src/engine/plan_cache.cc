@@ -1,0 +1,72 @@
+#include "engine/plan_cache.h"
+
+#include "sparse/fingerprint.h"
+
+namespace spnet {
+namespace engine {
+
+size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  uint64_t h = sparse::CombineFingerprints(k.fp_a, k.fp_b);
+  h = sparse::CombineFingerprints(h, k.config_fp);
+  for (unsigned char c : k.algorithm) {
+    h = sparse::CombineFingerprints(h, c);
+  }
+  return static_cast<size_t>(h);
+}
+
+std::shared_ptr<const spgemm::SpGemmPlan> PlanCache::Lookup(
+    const PlanKey& key, spgemm::ExecContext* ctx) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Refresh recency: splice the entry to the front of the LRU list.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      spgemm::AddCounter(ctx, "engine.plan_cache.hit", 1);
+      return it->second->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  spgemm::AddCounter(ctx, "engine.plan_cache.miss", 1);
+  return nullptr;
+}
+
+std::shared_ptr<const spgemm::SpGemmPlan> PlanCache::Insert(
+    const PlanKey& key, spgemm::SpGemmPlan plan, spgemm::ExecContext* ctx) {
+  auto shared =
+      std::make_shared<const spgemm::SpGemmPlan>(std::move(plan));
+  if (capacity_ == 0) return shared;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent planners can race to insert the same key; keep the newer
+    // plan (they are equivalent) and refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = shared;
+    return shared;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    spgemm::AddCounter(ctx, "engine.plan_cache.evict", 1);
+  }
+  lru_.emplace_front(key, shared);
+  index_.emplace(key, lru_.begin());
+  return shared;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace engine
+}  // namespace spnet

@@ -1,0 +1,55 @@
+#include "sparse/fingerprint.h"
+
+#include <cstddef>
+
+namespace spnet {
+namespace sparse {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over an integer's bytes, least significant first. Writing the
+/// bytes out explicitly (instead of hashing raw memory) keeps the result
+/// independent of host endianness and of the padding rules of the array
+/// element types.
+template <typename T>
+uint64_t HashValue(uint64_t h, T value) {
+  auto bits = static_cast<uint64_t>(value);
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    h ^= (bits >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+uint64_t HashArray(uint64_t h, const std::vector<T>& values) {
+  // The length separator keeps {[1,2],[3]} and {[1],[2,3]} distinct when
+  // arrays are hashed back to back.
+  h = HashValue(h, static_cast<uint64_t>(values.size()));
+  for (const T& v : values) h = HashValue(h, v);
+  return h;
+}
+
+}  // namespace
+
+uint64_t StructuralFingerprint(const CsrMatrix& m) {
+  uint64_t h = kFnvOffset;
+  h = HashValue(h, m.rows());
+  h = HashValue(h, m.cols());
+  h = HashArray(h, m.ptr());
+  h = HashArray(h, m.indices());
+  return h;
+}
+
+uint64_t CombineFingerprints(uint64_t a, uint64_t b) {
+  uint64_t h = kFnvOffset;
+  h = HashValue(h, a);
+  h = HashValue(h, b);
+  return h;
+}
+
+}  // namespace sparse
+}  // namespace spnet

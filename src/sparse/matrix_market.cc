@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,8 +14,20 @@ namespace sparse {
 namespace {
 
 std::string ToLower(std::string s) {
-  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  // std::tolower(int) is undefined for negative values other than EOF, and
+  // plain char is signed on most ABIs — a non-ASCII byte in a header token
+  // must go through unsigned char.
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   return s;
+}
+
+/// Removes a trailing '\r' so CRLF files parse like LF files. Only the
+/// getline-based header/size lines need this; entry parsing uses stream
+/// extraction, which already treats '\r' as whitespace.
+void StripCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
 }
 
 }  // namespace
@@ -25,6 +38,7 @@ Result<CsrMatrix> ParseMatrixMarket(const std::string& content) {
   if (!std::getline(in, line)) {
     return Status::IoError("empty Matrix Market input");
   }
+  StripCr(&line);
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
@@ -49,8 +63,16 @@ Result<CsrMatrix> ParseMatrixMarket(const std::string& content) {
   }
 
   // Skip comments, then read the size line.
+  bool have_size_line = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    StripCr(&line);
+    if (!line.empty() && line[0] != '%') {
+      have_size_line = true;
+      break;
+    }
+  }
+  if (!have_size_line) {
+    return Status::InvalidArgument("missing size line (comment-only input)");
   }
   long long rows = 0, cols = 0, entries = 0;
   {
@@ -61,6 +83,14 @@ Result<CsrMatrix> ParseMatrixMarket(const std::string& content) {
   }
   if (rows < 0 || cols < 0 || entries < 0) {
     return Status::InvalidArgument("negative sizes in header");
+  }
+  // Index is 32-bit; a larger header would silently wrap in the casts
+  // below and corrupt every entry bound check after it.
+  constexpr long long kMaxIndex = std::numeric_limits<Index>::max();
+  if (rows > kMaxIndex || cols > kMaxIndex) {
+    return Status::OutOfRange("header dimensions " + std::to_string(rows) +
+                              " x " + std::to_string(cols) +
+                              " exceed 32-bit index range");
   }
 
   CooMatrix coo(static_cast<Index>(rows), static_cast<Index>(cols));

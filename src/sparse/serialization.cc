@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <vector>
 
 namespace spnet {
@@ -61,6 +62,14 @@ Result<CsrMatrix> ReadBinary(const std::string& path) {
   }
   if (header.rows < 0 || header.cols < 0 || header.nnz < 0) {
     return Status::InvalidArgument("negative sizes in SPNB header");
+  }
+  // The casts below truncate to 32-bit Index; reject headers the type
+  // cannot represent instead of wrapping silently.
+  constexpr int64_t kMaxIndex = std::numeric_limits<Index>::max();
+  if (header.rows > kMaxIndex || header.cols > kMaxIndex) {
+    return Status::OutOfRange(
+        "SPNB header dimensions " + std::to_string(header.rows) + " x " +
+        std::to_string(header.cols) + " exceed 32-bit index range");
   }
 
   std::vector<Offset> ptr(static_cast<size_t>(header.rows) + 1);

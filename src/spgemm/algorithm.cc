@@ -31,6 +31,12 @@ Result<SpGemmMeasurement> Measure(const SpGemmAlgorithm& algorithm,
   metrics::ScopedSpan span(TraceOf(ctx), "measure:" + algorithm.name());
   ScopedPoolStats pool_stats(ctx);
   SPNET_ASSIGN_OR_RETURN(SpGemmPlan plan, algorithm.Plan(a, b, device, ctx));
+  return SimulatePlan(plan, device, ctx);
+}
+
+Result<SpGemmMeasurement> SimulatePlan(const SpGemmPlan& plan,
+                                       const gpusim::DeviceSpec& device,
+                                       ExecContext* ctx) {
   gpusim::Simulator sim(device);
 
   SpGemmMeasurement m;

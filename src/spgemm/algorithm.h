@@ -68,6 +68,15 @@ Result<SpGemmMeasurement> Measure(const SpGemmAlgorithm& algorithm,
                                   const gpusim::DeviceSpec& device,
                                   ExecContext* ctx = nullptr);
 
+/// The simulation tail of Measure() for an already-built plan: runs every
+/// kernel on `device` and aggregates the measurement. This is the
+/// plan-cache path of the batch engine — a cached SpGemmPlan skips
+/// Plan() entirely and goes straight here. Records the same "simulate"
+/// span, sim.* counters and measure.* gauges as Measure().
+Result<SpGemmMeasurement> SimulatePlan(const SpGemmPlan& plan,
+                                       const gpusim::DeviceSpec& device,
+                                       ExecContext* ctx = nullptr);
+
 /// The named baselines individually. (core/suite.h assembles the full
 /// Figure 8/9 comparison including the Block Reorganizer.)
 std::unique_ptr<SpGemmAlgorithm> MakeRowProduct();

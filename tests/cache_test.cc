@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "datasets/cache.h"
 #include "sparse/csr_matrix.h"
+#include "sparse/serialization.h"
 
 namespace spnet {
 namespace datasets {
@@ -63,6 +64,34 @@ TEST(CacheTest, CorruptedEntryIsRegenerated) {
   auto direct = Materialize(spec, 0.05, 11);
   ASSERT_TRUE(direct.ok());
   EXPECT_TRUE(sparse::CsrApproxEqual(*m, *direct, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(CacheTest, StaleEntryIsRegeneratedAndRefreshed) {
+  // A structurally valid .spnb that does not match the spec (e.g. left
+  // over from an older generator or a different dataset) must be treated
+  // as a miss, regenerated, and rewritten in place.
+  const std::string dir = ::testing::TempDir();
+  const RealWorldSpec spec = TinySpec();
+  const std::string path = CachePath(spec, 0.05, dir, 17);
+  {
+    // 2x2 identity: valid serialization, wrong dimensions for the spec.
+    auto tiny = sparse::CsrMatrix::FromParts(2, 2, {0, 1, 2}, {0, 1},
+                                             {1.0, 1.0});
+    ASSERT_TRUE(tiny.ok());
+    ASSERT_TRUE(sparse::WriteBinary(*tiny, path).ok());
+  }
+
+  auto m = MaterializeCached(spec, 0.05, dir, 17);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  auto direct = Materialize(spec, 0.05, 17);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(sparse::CsrApproxEqual(*m, *direct, 0.0));
+
+  // The stale entry was refreshed: a reload now serves the fresh matrix.
+  auto reloaded = sparse::ReadBinary(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(sparse::CsrApproxEqual(*reloaded, *direct, 0.0));
   std::remove(path.c_str());
 }
 

@@ -85,6 +85,63 @@ TEST(MatrixMarketTest, RejectsTruncatedEntries) {
   EXPECT_FALSE(ParseMatrixMarket(content).ok());
 }
 
+TEST(MatrixMarketTest, OversizedHeaderIsOutOfRange) {
+  // Dimensions beyond the 32-bit Index range must be rejected up front
+  // instead of wrapping when narrowed.
+  const std::string content =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "4294967296 4294967296 1\n"
+      "1 1 1.0\n";
+  auto m = ParseMatrixMarket(content);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kOutOfRange);
+
+  // One dimension in range does not excuse the other.
+  auto n = ParseMatrixMarket(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 3000000000 1\n"
+      "1 1 1.0\n");
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MatrixMarketTest, CommentOnlyFileIsInvalidArgument) {
+  const std::string content =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment one\n"
+      "% comment two\n";
+  auto m = ParseMatrixMarket(content);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixMarketTest, ParsesCrlfLineEndings) {
+  const std::string content =
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "% exported on windows\r\n"
+      "2 2 2\r\n"
+      "1 1 1.0\r\n"
+      "2 2 2.0\r\n";
+  auto m = ParseMatrixMarket(content);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->rows(), 2);
+  EXPECT_EQ(m->nnz(), 2);
+  EXPECT_DOUBLE_EQ(m->Row(1).values[0], 2.0);
+}
+
+TEST(MatrixMarketTest, NegativeCharBannerFailsGracefully) {
+  // Bytes >= 0x80 are negative as plain char; classification must not
+  // hit undefined behaviour and the banner must simply be rejected.
+  std::string content =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1 1 1\n"
+      "1 1 1.0\n";
+  content[15] = static_cast<char>(0xE9);  // corrupt "matrix" with é
+  auto m = ParseMatrixMarket(content);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kUnimplemented);
+}
+
 TEST(MatrixMarketTest, FileRoundTrip) {
   const CsrMatrix m = testing_util::RandomMatrix(17, 23, 0.15, 5);
   const std::string path = ::testing::TempDir() + "/roundtrip.mtx";

@@ -10,6 +10,9 @@
 //   spnet_cli convert  --in X.mtx --out X.spnb     (and back)
 //   spnet_cli generate --kind rmat|powerlaw|regular --out X.spnb
 //             [--scale 14] [--edges N] [--dim N] [--nnz N] [--skew S]
+//   spnet_cli batch    --manifest queries.txt [--plan_cache 64]
+//             [--deadline_ms D] [--fallback outer-product] [--repeats N]
+//             [--scale 0.05] [--cache dir] [--device titanxp]
 //
 // Omitting --b computes C = A^2. Files ending in .spnb use the binary
 // container; anything else is treated as Matrix Market. Every command
@@ -17,16 +20,27 @@
 // concurrency). Algorithm names come from spgemm::AlgorithmRegistry; pass
 // a bogus --algorithm to have the error list them.
 //
-// Observability (multiply / profile / classify):
+// batch executes a manifest of queries (one "<dataset-or-path> [algorithm]
+// [repeat]" per line, '#' comments) concurrently through the
+// engine::BatchRunner: plans are reused across queries with the same
+// matrix structure via an LRU plan cache (--plan_cache entries, 0
+// disables), per-query deadlines expire individually, and a query whose
+// algorithm cannot plan degrades to the --fallback baseline instead of
+// failing the batch. --repeats re-runs the whole batch; warm passes are
+// where the plan cache pays off.
+//
+// Observability (multiply / profile / classify / batch):
 //   --metrics_out=<path>  write the execution's metrics registry + trace
 //                         spans as JSON
 //   --trace               print the span tree (load -> classify -> split
 //                         -> gather -> expand -> merge -> simulate) after
 //                         the command
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/flags.h"
 #include "common/parallel.h"
@@ -35,6 +49,8 @@
 #include "core/block_reorganizer.h"
 #include "core/suite.h"
 #include "datasets/generators.h"
+#include "engine/batch_runner.h"
+#include "engine/manifest.h"
 #include "gpusim/device_spec.h"
 #include "gpusim/profiler.h"
 #include "metrics/report.h"
@@ -238,6 +254,81 @@ int CmdClassify(const FlagParser& flags) {
   return 0;
 }
 
+int CmdBatch(const FlagParser& flags) {
+  const std::string manifest = flags.GetString("manifest", "");
+  if (manifest.empty()) {
+    return Fail(Status::InvalidArgument("missing --manifest"));
+  }
+  spgemm::ExecContext ctx;
+
+  engine::ManifestLoadOptions load;
+  load.scale = flags.GetDouble("scale", load.scale);
+  load.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  load.dataset_cache_dir = flags.GetString("cache", "");
+  load.deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  const int load_span = ctx.trace.Begin("load");
+  auto queries = engine::LoadManifest(manifest, load);
+  ctx.trace.End(load_span);
+  if (!queries.ok()) return Fail(queries.status());
+  if (queries->empty()) {
+    return Fail(Status::InvalidArgument(manifest + " contains no queries"));
+  }
+
+  engine::BatchOptions options;
+  options.plan_cache_capacity = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt("plan_cache", 64)));
+  options.fallback_algorithm =
+      flags.GetString("fallback", options.fallback_algorithm);
+  options.device = DeviceFromFlags(flags);
+  options.reorganizer_config.alpha =
+      flags.GetDouble("alpha", options.reorganizer_config.alpha);
+  options.reorganizer_config.beta =
+      flags.GetDouble("beta", options.reorganizer_config.beta);
+  engine::BatchRunner runner(std::move(options));
+
+  const int64_t repeats = std::max<int64_t>(1, flags.GetInt("repeats", 1));
+  engine::BatchReport report;
+  for (int64_t pass = 0; pass < repeats; ++pass) {
+    auto r = runner.Run(*queries, &ctx);
+    if (!r.ok()) return Fail(r.status());
+    report = std::move(r).value();
+    std::printf(
+        "pass %lld/%lld: %zu queries in %.1f ms | ok %lld, failed %lld, "
+        "expired %lld, fallbacks %lld | plan cache: %lld hit, %lld miss, "
+        "%lld evicted\n",
+        static_cast<long long>(pass + 1), static_cast<long long>(repeats),
+        queries->size(), report.wall_ms,
+        static_cast<long long>(report.succeeded),
+        static_cast<long long>(report.failed),
+        static_cast<long long>(report.deadline_expired),
+        static_cast<long long>(report.fallbacks),
+        static_cast<long long>(report.plan_cache_hits),
+        static_cast<long long>(report.plan_cache_misses),
+        static_cast<long long>(report.plan_cache_evictions));
+  }
+
+  metrics::Table table(
+      {"query", "algorithm", "status", "plan", "sim ms", "GFLOPS", "wall ms"});
+  for (const engine::QueryResult& r : report.results) {
+    table.AddRow({r.id,
+                  r.algorithm_used.empty() ? "-" : r.algorithm_used,
+                  r.status.ok() ? "ok" : StatusCodeName(r.status.code()),
+                  r.plan_cache_hit ? "cached" : "planned",
+                  metrics::FormatDouble(r.sim_ms, 3),
+                  metrics::FormatDouble(r.gflops, 1),
+                  metrics::FormatDouble(r.wall_ms, 3)});
+  }
+  std::printf("last pass results:\n%s", table.ToString().c_str());
+  for (const engine::QueryResult& r : report.results) {
+    if (!r.status.ok()) {
+      std::printf("  %s: %s\n", r.id.c_str(), r.status.ToString().c_str());
+    }
+  }
+  const Status obs = EmitObservability(flags, ctx);
+  if (!obs.ok()) return Fail(obs);
+  return 0;
+}
+
 int CmdConvert(const FlagParser& flags) {
   auto m = Load(flags.GetString("in", ""));
   if (!m.ok()) return Fail(m.status());
@@ -285,7 +376,8 @@ int CmdGenerate(const FlagParser& flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: spnet_cli <multiply|profile|classify|convert|generate>"
+               "usage: spnet_cli "
+               "<multiply|profile|classify|batch|convert|generate>"
                " [flags]\n(see the header comment of tools/spnet_cli.cc)\n");
   return 2;
 }
@@ -301,6 +393,7 @@ int Run(int argc, char** argv) {
   if (command == "multiply") return CmdMultiply(flags);
   if (command == "profile") return CmdProfile(flags);
   if (command == "classify") return CmdClassify(flags);
+  if (command == "batch") return CmdBatch(flags);
   if (command == "convert") return CmdConvert(flags);
   if (command == "generate") return CmdGenerate(flags);
   return Usage();
