@@ -8,6 +8,7 @@
 #include "spgemm/algorithm_registry.h"
 #include "spgemm/exec_context.h"
 #include "spgemm/plan.h"
+#include "verify/fault_injection.h"
 
 namespace spnet {
 namespace core {
@@ -236,6 +237,9 @@ Result<CsrMatrix> BlockReorganizerSpGemm::ComputeImpl(
         workload.row_chat[static_cast<size_t>(r)];
   }
   const Offset total = chat_ptr[static_cast<size_t>(rows)];
+  // The Ĉ buffers are the largest transient allocation in the pipeline;
+  // a fault here models expansion-phase OOM on the device.
+  SPNET_RETURN_IF_ERROR(verify::MaybeInjectFault(verify::kSiteChatAlloc));
   std::vector<Index> chat_cols(static_cast<size_t>(total));
   std::vector<Value> chat_vals(static_cast<size_t>(total));
   std::vector<Offset> cursor(chat_ptr.begin(), chat_ptr.end() - 1);

@@ -1,6 +1,7 @@
 #include "core/workload_classifier.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/parallel.h"
 #include "spgemm/exec_context.h"
@@ -23,6 +24,21 @@ struct ChunkBuckets {
 
 void AppendTo(std::vector<Index>* out, const std::vector<Index>& chunk) {
   out->insert(out->end(), chunk.begin(), chunk.end());
+}
+
+/// Converts `multiplier * mean` into an integer threshold, clamped to
+/// [1, INT64_MAX] in the double domain. The clamp must happen before the
+/// cast: double -> int64 conversion of an out-of-range value is undefined
+/// behavior, and on x86 it produces INT64_MIN — which the old max(1, ...)
+/// then "clamped" to 1, silently classifying nearly every pair as a
+/// dominator whenever alpha (or beta) was cranked up for a sweep.
+int64_t ThresholdFromMean(double multiplier, double mean) {
+  const double t = multiplier * mean;
+  if (!(t >= 1.0)) return 1;  // also catches NaN
+  // 2^63 rounded to the nearest double below it; anything >= is saturated.
+  constexpr double kMaxExact = 9223372036854774784.0;
+  if (t >= kMaxExact) return std::numeric_limits<int64_t>::max();
+  return static_cast<int64_t>(t);
 }
 
 }  // namespace
@@ -53,8 +69,7 @@ Classification Classify(const spgemm::Workload& workload,
           ? static_cast<double>(workload.flops) /
                 static_cast<double>(nonzero_pairs)
           : 0.0;
-  c.dominator_threshold = std::max<int64_t>(
-      1, static_cast<int64_t>(config.alpha * mean_pair_work));
+  c.dominator_threshold = ThresholdFromMean(config.alpha, mean_pair_work);
 
   const int64_t nonzero_rows = pool.ParallelReduce(
       0, rows, row_grain, int64_t{0},
@@ -70,8 +85,7 @@ Classification Classify(const spgemm::Workload& workload,
       nonzero_rows > 0 ? static_cast<double>(workload.flops) /
                              static_cast<double>(nonzero_rows)
                        : 0.0;
-  c.limit_row_threshold = std::max<int64_t>(
-      1, static_cast<int64_t>(config.beta * mean_row_chat));
+  c.limit_row_threshold = ThresholdFromMean(config.beta, mean_row_chat);
 
   // Bucket the pairs and rows chunk-locally, then concatenate the chunks
   // in range order — the same sequence the serial scan produced.

@@ -245,5 +245,51 @@ Result<CsrMatrix> GenerateQuasiRegular(const QuasiRegularParams& p) {
   return CsrMatrix::FromCoo(coo);
 }
 
+Result<CsrMatrix> GenerateBlockDiagonal(const BlockDiagonalParams& p) {
+  if (p.n <= 0) {
+    return Status::InvalidArgument("block-diagonal generator needs n > 0");
+  }
+  if (p.block_size <= 0) {
+    return Status::InvalidArgument("block size must be positive");
+  }
+  if (p.fill < 0.0 || p.fill > 1.0) {
+    return Status::InvalidArgument("fill must be in [0, 1], got " +
+                                   std::to_string(p.fill));
+  }
+  Rng rng(p.seed);
+  CooMatrix coo(p.n, p.n);
+  for (Index begin = 0; begin < p.n; begin += p.block_size) {
+    const Index end = std::min<Index>(p.n, begin + p.block_size);
+    const Index width = end - begin;
+    const int64_t cells =
+        static_cast<int64_t>(width) * static_cast<int64_t>(width);
+    int64_t target = static_cast<int64_t>(p.fill * static_cast<double>(cells));
+    // A community keeps its members reachable: at least the diagonal.
+    target = std::max<int64_t>(target, width);
+    std::unordered_set<uint64_t> seen;
+    int64_t emitted = 0;
+    for (Index i = 0; i < width; ++i) {
+      coo.Add(begin + i, begin + i,
+              p.weighted ? (rng.NextDouble() + 1e-6) : 1.0);
+      seen.insert(EdgeKey(i, i));
+      ++emitted;
+    }
+    int64_t attempts = 0;
+    const int64_t max_attempts = target * 16 + 16;
+    while (emitted < target && attempts < max_attempts) {
+      ++attempts;
+      const Index i = static_cast<Index>(
+          rng.NextBounded(static_cast<uint64_t>(width)));
+      const Index j = static_cast<Index>(
+          rng.NextBounded(static_cast<uint64_t>(width)));
+      if (!seen.insert(EdgeKey(i, j)).second) continue;
+      coo.Add(begin + i, begin + j,
+              p.weighted ? (rng.NextDouble() + 1e-6) : 1.0);
+      ++emitted;
+    }
+  }
+  return CsrMatrix::FromCoo(coo);
+}
+
 }  // namespace datasets
 }  // namespace spnet

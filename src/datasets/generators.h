@@ -72,6 +72,24 @@ struct QuasiRegularParams {
 
 Result<sparse::CsrMatrix> GenerateQuasiRegular(const QuasiRegularParams& params);
 
+/// Block-diagonal generator modeling community-structured networks: n is
+/// carved into contiguous blocks of ~block_size nodes, and edges land only
+/// inside a node's own block (uniformly, at the given fill density). The
+/// resulting A*A concentrates all outer-product work inside the blocks —
+/// the worst case for workload imbalance between pairs.
+struct BlockDiagonalParams {
+  sparse::Index n = 0;
+  /// Nodes per diagonal block; the final block absorbs the remainder.
+  sparse::Index block_size = 32;
+  /// Fraction of each block's cells that are nonzero, in [0, 1].
+  double fill = 0.25;
+  uint64_t seed = 42;
+  bool weighted = true;
+};
+
+Result<sparse::CsrMatrix> GenerateBlockDiagonal(
+    const BlockDiagonalParams& params);
+
 }  // namespace datasets
 }  // namespace spnet
 

@@ -49,12 +49,22 @@ void BatchRunner::RunOne(const BatchQuery& query, uint64_t fp_a,
                          spgemm::ExecContext* ctx, QueryResult* result) {
   Timer timer;
   result->id = query.id;
-  const double deadline_ms = query.deadline_ms > 0.0
-                                 ? query.deadline_ms
-                                 : options_.default_deadline_ms;
+  // A query-level deadline (>= 0, where 0 is born expired) wins; the
+  // negative sentinel inherits the batch default, whose own <= 0 still
+  // means "no deadline".
+  const bool inherits = query.deadline_ms < 0.0;
+  const double deadline_ms =
+      inherits ? options_.default_deadline_ms : query.deadline_ms;
+  const bool has_deadline = inherits ? deadline_ms > 0.0 : true;
   const auto expired = [&] {
-    return deadline_ms > 0.0 && timer.Seconds() * 1e3 > deadline_ms;
+    return has_deadline && timer.Seconds() * 1e3 >= deadline_ms;
   };
+  if (expired()) {
+    result->status =
+        Status::DeadlineExceeded(query.id + " expired on arrival");
+    result->wall_ms = timer.Seconds() * 1e3;
+    return;
+  }
 
   // Graceful degradation step 1: a query whose algorithm could not be
   // built (unknown name, invalid reorganizer config) runs on the fallback

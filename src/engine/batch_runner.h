@@ -27,9 +27,14 @@ struct BatchQuery {
   /// Null selects A as the second operand (C = A^2, the paper's workload).
   std::shared_ptr<const sparse::CsrMatrix> b;
   std::string algorithm = "reorganizer";
-  /// Wall-clock budget for this query in ms; <= 0 inherits
-  /// BatchOptions::default_deadline_ms (and <= 0 there means no deadline).
-  double deadline_ms = 0.0;
+  /// Sentinel for deadline_ms: inherit BatchOptions::default_deadline_ms.
+  static constexpr double kInheritDeadline = -1.0;
+  /// Wall-clock budget for this query in ms. Negative (the default)
+  /// inherits the batch-level default; 0 is an already-expired deadline
+  /// (the query reports DeadlineExceeded without doing work); positive is
+  /// the budget. A zero budget used to mean "inherit", which made an
+  /// expired deadline impossible to express per query.
+  double deadline_ms = kInheritDeadline;
 };
 
 /// Outcome of one query. `status` is per-query: a failed or expired query

@@ -102,7 +102,11 @@ Result<std::vector<BatchQuery>> BuildQueries(
       q.id = entry.source + ":" + entry.algorithm + "#" + std::to_string(k);
       q.a = it->second;
       q.algorithm = entry.algorithm;
-      q.deadline_ms = options.deadline_ms;
+      // The CLI option keeps its historical "<= 0 disables deadlines"
+      // contract; only a positive value becomes a per-query budget (0 on a
+      // BatchQuery now means "born expired").
+      q.deadline_ms = options.deadline_ms > 0.0 ? options.deadline_ms
+                                                : BatchQuery::kInheritDeadline;
       queries.push_back(std::move(q));
     }
   }

@@ -1,6 +1,7 @@
 #include "metrics/registry.h"
 
 #include <bit>
+#include <cassert>
 
 #include "metrics/json_writer.h"
 
@@ -19,6 +20,12 @@ int BucketIndex(int64_t value) {
 }  // namespace
 
 void Histogram::Observe(int64_t value) {
+  // The instrument's domain is non-negative integers (bucket 0 holds
+  // exactly {0}). A negative observation is a caller bug — assert in
+  // debug builds, clamp in release so one bad call site cannot drive
+  // sum/min below zero and poison every downstream report.
+  assert(value >= 0 && "Histogram::Observe takes non-negative values");
+  if (value < 0) value = 0;
   const int index =
       BucketIndex(value) < kBuckets ? BucketIndex(value) : kBuckets - 1;
   buckets_[index].fetch_add(1, std::memory_order_relaxed);
@@ -37,6 +44,11 @@ void Histogram::Observe(int64_t value) {
 int64_t Histogram::min() const {
   const int64_t v = min_.load(std::memory_order_relaxed);
   return v == INT64_MAX ? 0 : v;
+}
+
+int64_t Histogram::max() const {
+  const int64_t v = max_.load(std::memory_order_relaxed);
+  return v == INT64_MIN ? 0 : v;
 }
 
 int64_t Histogram::BucketUpperBound(int i) {
@@ -139,7 +151,7 @@ void Registry::AppendJson(JsonWriter* w) const {
     w->Key("count").Int(h.count());
     w->Key("sum").Int(h.sum());
     w->Key("min").Int(h.min());
-    w->Key("max").Int(h.count() > 0 ? h.max() : 0);
+    w->Key("max").Int(h.max());
     w->Key("buckets").BeginArray();
     for (int i = 0; i < Histogram::kBuckets; ++i) {
       if (h.bucket(i) == 0) continue;

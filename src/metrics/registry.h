@@ -55,7 +55,9 @@ class Histogram {
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Minimum observed value; 0 when empty.
   int64_t min() const;
-  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Maximum observed value; 0 when empty (the raw slot holds INT64_MIN
+  /// before the first observation, which must never leak to callers).
+  int64_t max() const;
   int64_t bucket(int i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }

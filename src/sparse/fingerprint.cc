@@ -39,7 +39,15 @@ uint64_t StructuralFingerprint(const CsrMatrix& m) {
   uint64_t h = kFnvOffset;
   h = HashValue(h, m.rows());
   h = HashValue(h, m.cols());
-  h = HashArray(h, m.ptr());
+  // A default-constructed matrix stores an empty ptr array while the
+  // builders emit rows()+1 zeros for the same logical structure; hash the
+  // canonical form so the two spellings of an empty matrix share a key.
+  if (m.ptr().empty()) {
+    h = HashValue(h, static_cast<uint64_t>(m.rows()) + 1);
+    for (Index r = 0; r <= m.rows(); ++r) h = HashValue(h, Offset{0});
+  } else {
+    h = HashArray(h, m.ptr());
+  }
   h = HashArray(h, m.indices());
   return h;
 }

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "verify/fault_injection.h"
+
 namespace spnet {
 namespace sparse {
 
@@ -118,6 +120,7 @@ Result<CsrMatrix> ParseMatrixMarket(const std::string& content) {
 }
 
 Result<CsrMatrix> ReadMatrixMarket(const std::string& path) {
+  SPNET_RETURN_IF_ERROR(verify::MaybeInjectFault(verify::kSiteLoaderRead));
   std::ifstream file(path);
   if (!file) {
     return Status::IoError("cannot open " + path);

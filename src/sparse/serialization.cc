@@ -6,6 +6,8 @@
 #include <limits>
 #include <vector>
 
+#include "verify/fault_injection.h"
+
 namespace spnet {
 namespace sparse {
 
@@ -44,6 +46,7 @@ Status WriteBinary(const CsrMatrix& m, const std::string& path) {
 }
 
 Result<CsrMatrix> ReadBinary(const std::string& path) {
+  SPNET_RETURN_IF_ERROR(verify::MaybeInjectFault(verify::kSiteLoaderRead));
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open " + path);

@@ -2,6 +2,7 @@
 
 #include "gpusim/kernel_desc.h"
 #include "spgemm/exec_context.h"
+#include "verify/fault_injection.h"
 
 namespace spnet {
 namespace spgemm {
@@ -12,6 +13,9 @@ Result<SpGemmPlan> SpGemmAlgorithm::Plan(const sparse::CsrMatrix& a,
                                          ExecContext* ctx) const {
   metrics::ScopedSpan span(TraceOf(ctx), "plan:" + name());
   ScopedPoolStats pool_stats(ctx);
+  // Fault-injection boundary: every algorithm's plan construction funnels
+  // through this NVI, so one site covers the whole registry.
+  SPNET_RETURN_IF_ERROR(verify::MaybeInjectFault(verify::kSitePlan));
   return PlanImpl(a, b, device, ctx);
 }
 
@@ -20,6 +24,7 @@ Result<sparse::CsrMatrix> SpGemmAlgorithm::Compute(const sparse::CsrMatrix& a,
                                                    ExecContext* ctx) const {
   metrics::ScopedSpan span(TraceOf(ctx), "compute:" + name());
   ScopedPoolStats pool_stats(ctx);
+  SPNET_RETURN_IF_ERROR(verify::MaybeInjectFault(verify::kSiteCompute));
   return ComputeImpl(a, b, ctx);
 }
 

@@ -1,0 +1,297 @@
+#include "verify/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/block_reorganizer.h"
+#include "datasets/generators.h"
+#include "sparse/coo_matrix.h"
+#include "sparse/reference_spgemm.h"
+#include "spgemm/algorithm_registry.h"
+
+namespace spnet {
+namespace verify {
+
+using sparse::CooMatrix;
+using sparse::CsrMatrix;
+using sparse::Index;
+using sparse::Offset;
+using sparse::SpanView;
+
+std::string DivergenceToString(const Divergence& d) {
+  if (d.kind == "shape") {
+    return "shape mismatch";
+  }
+  return d.kind + " divergence at (" + std::to_string(d.row) + ", " +
+         std::to_string(d.col) + "): expected " + std::to_string(d.expected) +
+         ", got " + std::to_string(d.got);
+}
+
+bool FindFirstDivergence(const CsrMatrix& expected, const CsrMatrix& got,
+                         double tol, Divergence* out) {
+  if (expected.rows() != got.rows() || expected.cols() != got.cols()) {
+    out->kind = "shape";
+    out->row = -1;
+    out->col = -1;
+    return true;
+  }
+  // Algorithms may legitimately emit unordered rows; compare sorted copies
+  // so the merge-walk below sees both sides in column order.
+  CsrMatrix e = expected;
+  CsrMatrix g = got;
+  e.SortRows();
+  g.SortRows();
+  for (Index r = 0; r < e.rows(); ++r) {
+    const SpanView er = e.Row(r);
+    const SpanView gr = g.Row(r);
+    Offset i = 0;
+    Offset j = 0;
+    while (i < er.size || j < gr.size) {
+      const Index ec = i < er.size ? er.indices[i]
+                                   : std::numeric_limits<Index>::max();
+      const Index gc = j < gr.size ? gr.indices[j]
+                                   : std::numeric_limits<Index>::max();
+      if (ec == gc) {
+        if (std::abs(er.values[i] - gr.values[j]) > tol) {
+          *out = {r, ec, er.values[i], gr.values[j], "value"};
+          return true;
+        }
+        ++i;
+        ++j;
+      } else if (ec < gc) {
+        // An expected entry the algorithm never produced. Tolerate it only
+        // if the value is within tol of zero (an explicit zero one side
+        // chose to compact away).
+        if (std::abs(er.values[i]) > tol) {
+          *out = {r, ec, er.values[i], 0.0, "structure"};
+          return true;
+        }
+        ++i;
+      } else {
+        if (std::abs(gr.values[j]) > tol) {
+          *out = {r, gc, 0.0, gr.values[j], "structure"};
+          return true;
+        }
+        ++j;
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Degenerate-structure family: a fixed stripe pattern of fully empty rows
+/// and columns around seeded entries; every third seed yields a completely
+/// empty A so the sweep always exercises the nnz == 0 path.
+Result<CsrMatrix> MakeEmptyRowsColsMatrix(Index n, uint64_t seed, bool empty) {
+  CooMatrix coo(n, n);
+  if (!empty) {
+    Rng rng(seed);
+    for (Index r = 0; r < n; ++r) {
+      if (r % 3 == 0) continue;  // fully empty rows
+      const int64_t degree = 1 + static_cast<int64_t>(rng.NextBounded(4));
+      for (int64_t k = 0; k < degree; ++k) {
+        Index c = static_cast<Index>(rng.NextBounded(
+            static_cast<uint64_t>(n)));
+        if (c % 5 == 2) c = (c + 1) % static_cast<Index>(n);  // empty columns
+        if (c % 5 == 2) continue;
+        coo.Add(r, c, rng.NextDouble() + 1e-6);
+      }
+    }
+  }
+  return CsrMatrix::FromCoo(coo);
+}
+
+/// Duplicate-heavy family: every logical entry arrives as several COO
+/// triplets whose values sum to the intended number, plus a sprinkling of
+/// exactly-canceling pairs that assemble into explicit zeros.
+Result<CsrMatrix> MakeDuplicateCooMatrix(Index n, uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  const int64_t logical = 6 * static_cast<int64_t>(n);
+  for (int64_t k = 0; k < logical; ++k) {
+    const Index r = static_cast<Index>(rng.NextBounded(
+        static_cast<uint64_t>(n)));
+    const Index c = static_cast<Index>(rng.NextBounded(
+        static_cast<uint64_t>(n)));
+    const double v = rng.NextDouble() + 1e-6;
+    const int64_t copies = 2 + static_cast<int64_t>(rng.NextBounded(3));
+    for (int64_t d = 0; d + 1 < copies; ++d) {
+      coo.Add(r, c, v / static_cast<double>(copies));
+    }
+    coo.Add(r, c, v - v / static_cast<double>(copies) *
+                          static_cast<double>(copies - 1));
+    if (k % 7 == 0) {
+      // Canceling pair: assembles into a structural entry of value 0.
+      const Index zr = static_cast<Index>(rng.NextBounded(
+          static_cast<uint64_t>(n)));
+      const Index zc = static_cast<Index>(rng.NextBounded(
+          static_cast<uint64_t>(n)));
+      const double zv = rng.NextDouble() + 1e-6;
+      coo.Add(zr, zc, zv);
+      coo.Add(zr, zc, -zv);
+    }
+  }
+  return CsrMatrix::FromCoo(coo);
+}
+
+}  // namespace
+
+const std::vector<std::string>& SweepFamilyNames() {
+  static const std::vector<std::string> kFamilies = {
+      "powerlaw", "banded", "block-diagonal", "empty-rows-cols",
+      "duplicate-coo"};
+  return kFamilies;
+}
+
+Result<SweepCase> MakeSweepCase(const std::string& family, uint64_t seed) {
+  SweepCase c;
+  if (family == "powerlaw") {
+    datasets::PowerLawParams pa;
+    pa.rows = 72;
+    pa.cols = 48;
+    pa.nnz = 900;
+    pa.seed = seed;
+    datasets::PowerLawParams pb;
+    pb.rows = 48;
+    pb.cols = 64;
+    pb.nnz = 700;
+    pb.seed = seed + 1;
+    SPNET_ASSIGN_OR_RETURN(c.a, datasets::GeneratePowerLaw(pa));
+    SPNET_ASSIGN_OR_RETURN(c.b, datasets::GeneratePowerLaw(pb));
+    return c;
+  }
+  if (family == "banded") {
+    datasets::QuasiRegularParams pa;
+    pa.n = 96;
+    pa.nnz = 1400;
+    pa.seed = seed;
+    datasets::QuasiRegularParams pb = pa;
+    pb.seed = seed + 1;
+    SPNET_ASSIGN_OR_RETURN(c.a, datasets::GenerateQuasiRegular(pa));
+    SPNET_ASSIGN_OR_RETURN(c.b, datasets::GenerateQuasiRegular(pb));
+    return c;
+  }
+  if (family == "block-diagonal") {
+    datasets::BlockDiagonalParams pa;
+    pa.n = 96;
+    pa.block_size = 24;
+    pa.fill = 0.3;
+    pa.seed = seed;
+    datasets::BlockDiagonalParams pb;
+    pb.n = 96;
+    pb.block_size = 16;
+    pb.fill = 0.25;
+    pb.seed = seed + 1;
+    SPNET_ASSIGN_OR_RETURN(c.a, datasets::GenerateBlockDiagonal(pa));
+    SPNET_ASSIGN_OR_RETURN(c.b, datasets::GenerateBlockDiagonal(pb));
+    return c;
+  }
+  if (family == "empty-rows-cols") {
+    const Index n = 48;
+    SPNET_ASSIGN_OR_RETURN(
+        c.a, MakeEmptyRowsColsMatrix(n, seed, /*empty=*/seed % 3 == 0));
+    SPNET_ASSIGN_OR_RETURN(
+        c.b, MakeEmptyRowsColsMatrix(n, seed + 1, /*empty=*/false));
+    return c;
+  }
+  if (family == "duplicate-coo") {
+    const Index n = 40;
+    SPNET_ASSIGN_OR_RETURN(c.a, MakeDuplicateCooMatrix(n, seed));
+    SPNET_ASSIGN_OR_RETURN(c.b, MakeDuplicateCooMatrix(n, seed + 1));
+    return c;
+  }
+  return Status::NotFound("unknown sweep family: " + family);
+}
+
+std::string DifferentialFailure::ToString() const {
+  std::string line = algorithm + " on " + family +
+                     " (seed " + std::to_string(seed) + "): ";
+  if (!status.ok()) {
+    line += status.ToString();
+  } else if (diverged) {
+    line += DivergenceToString(divergence);
+  } else {
+    line += "unknown failure";
+  }
+  return line;
+}
+
+std::string DifferentialReport::Summary() const {
+  std::string s = "differential sweep: " +
+                  std::to_string(algorithms_tested) + " algorithms, " +
+                  std::to_string(cases_run) + " runs, " +
+                  std::to_string(failures.size()) + " failures";
+  for (const DifferentialFailure& f : failures) {
+    s += "\n  " + f.ToString();
+  }
+  return s;
+}
+
+Result<DifferentialReport> RunDifferentialSweep(
+    const DifferentialOptions& options) {
+  core::RegisterCoreAlgorithms();
+  spgemm::AlgorithmRegistry& registry = spgemm::AlgorithmRegistry::Global();
+
+  const std::vector<std::string> names =
+      options.algorithms.empty() ? registry.Names() : options.algorithms;
+  std::vector<std::pair<std::string, std::unique_ptr<spgemm::SpGemmAlgorithm>>>
+      algorithms;
+  algorithms.reserve(names.size());
+  for (const std::string& name : names) {
+    SPNET_ASSIGN_OR_RETURN(std::unique_ptr<spgemm::SpGemmAlgorithm> algorithm,
+                           registry.Create(name));
+    algorithms.emplace_back(name, std::move(algorithm));
+  }
+
+  const std::vector<std::string>& families =
+      options.families.empty() ? SweepFamilyNames() : options.families;
+  if (options.cases_per_family < 1) {
+    return Status::InvalidArgument("cases_per_family must be >= 1");
+  }
+
+  DifferentialReport report;
+  report.algorithms_tested = static_cast<int64_t>(algorithms.size());
+  for (const std::string& family : families) {
+    for (int k = 0; k < options.cases_per_family; ++k) {
+      const uint64_t seed = options.base_seed + static_cast<uint64_t>(k);
+      SPNET_ASSIGN_OR_RETURN(SweepCase c, MakeSweepCase(family, seed));
+      SPNET_ASSIGN_OR_RETURN(CsrMatrix expected,
+                             sparse::ReferenceSpGemm(c.a, c.b));
+      for (const auto& [name, algorithm] : algorithms) {
+        ++report.cases_run;
+        DifferentialFailure failure;
+        failure.algorithm = name;
+        failure.family = family;
+        failure.seed = seed;
+        Result<CsrMatrix> got = algorithm->Compute(c.a, c.b);
+        if (!got.ok()) {
+          failure.status = got.status();
+          report.failures.push_back(std::move(failure));
+          continue;
+        }
+        const Status valid = got->Validate();
+        if (!valid.ok()) {
+          failure.status = valid;
+          report.failures.push_back(std::move(failure));
+          continue;
+        }
+        Divergence d;
+        if (FindFirstDivergence(expected, *got, options.tol, &d)) {
+          failure.diverged = true;
+          failure.divergence = d;
+          report.failures.push_back(std::move(failure));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace verify
+}  // namespace spnet

@@ -1,0 +1,97 @@
+#ifndef SPNET_VERIFY_DIFFERENTIAL_H_
+#define SPNET_VERIFY_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sparse/csr_matrix.h"
+
+namespace spnet {
+namespace verify {
+
+/// First point where an algorithm's output departs from the reference
+/// oracle, in row-major order over the sorted rows.
+struct Divergence {
+  sparse::Index row = -1;
+  sparse::Index col = -1;
+  double expected = 0.0;
+  double got = 0.0;
+  /// "shape" (dimension mismatch), "structure" (entry present on one side
+  /// only), or "value" (same position, different number).
+  std::string kind;
+};
+
+std::string DivergenceToString(const Divergence& d);
+
+/// Compares `got` against `expected` entry by entry, tolerating unordered
+/// rows and |delta| <= tol. Returns true and fills *out on the first
+/// mismatch; false when the matrices agree.
+bool FindFirstDivergence(const sparse::CsrMatrix& expected,
+                         const sparse::CsrMatrix& got, double tol,
+                         Divergence* out);
+
+/// One generated A*B input of the differential sweep.
+struct SweepCase {
+  sparse::CsrMatrix a;
+  sparse::CsrMatrix b;
+};
+
+/// The seeded input families the sweep draws from: "powerlaw"
+/// (rectangular, hub-skewed), "banded" (quasi-regular FEM stand-in),
+/// "block-diagonal" (community blocks), "empty-rows-cols" (structurally
+/// degenerate rows/columns, including a fully empty matrix), and
+/// "duplicate-coo" (inputs assembled from duplicate-heavy triplet lists).
+const std::vector<std::string>& SweepFamilyNames();
+
+/// Builds one deterministic case of `family`; the same (family, seed)
+/// always reproduces the same matrices.
+Result<SweepCase> MakeSweepCase(const std::string& family, uint64_t seed);
+
+struct DifferentialOptions {
+  /// Algorithms to test; empty = every canonical name in the registry
+  /// (core algorithms are registered by the sweep itself).
+  std::vector<std::string> algorithms;
+  /// Families to draw from; empty = all of SweepFamilyNames().
+  std::vector<std::string> families;
+  /// Seeded cases per family.
+  int cases_per_family = 2;
+  uint64_t base_seed = 42;
+  double tol = 1e-9;
+};
+
+/// One failing (algorithm, case) pair of a sweep.
+struct DifferentialFailure {
+  std::string algorithm;
+  std::string family;
+  uint64_t seed = 0;
+  /// Non-OK when the algorithm (or its output validation) failed outright;
+  /// OK when it ran but diverged.
+  Status status;
+  bool diverged = false;
+  Divergence divergence;
+
+  std::string ToString() const;
+};
+
+struct DifferentialReport {
+  int64_t cases_run = 0;
+  int64_t algorithms_tested = 0;
+  std::vector<DifferentialFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// Runs every requested algorithm against sparse::ReferenceSpGemm over
+/// the seeded sweep. Infrastructure errors (unknown family or algorithm
+/// name, generator failure, reference failure) surface as the outer
+/// Status; algorithm misbehavior lands in the report.
+Result<DifferentialReport> RunDifferentialSweep(
+    const DifferentialOptions& options);
+
+}  // namespace verify
+}  // namespace spnet
+
+#endif  // SPNET_VERIFY_DIFFERENTIAL_H_

@@ -1,0 +1,148 @@
+#include "verify/fault_injection.h"
+
+#include <cstdlib>
+
+namespace spnet {
+namespace verify {
+
+namespace {
+
+/// Splits `s` on `sep`, keeping empty pieces (they are spec errors the
+/// caller reports with context).
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (true) {
+    const size_t end = s.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(begin));
+      return parts;
+    }
+    parts.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+Result<int64_t> ParseOrdinal(const std::string& token) {
+  char* end = nullptr;
+  const int64_t v = std::strtoll(token.c_str(), &end, 10);
+  if (token.empty() || end != token.c_str() + token.size() || v < 0) {
+    return Status::InvalidArgument("fault spec: bad ordinal '" + token + "'");
+  }
+  return v;
+}
+
+Result<StatusCode> ParseCode(const std::string& token) {
+  if (token == "internal") return StatusCode::kInternal;
+  if (token == "io") return StatusCode::kIoError;
+  if (token == "invalid") return StatusCode::kInvalidArgument;
+  if (token == "unavailable" || token == "precondition") {
+    return StatusCode::kFailedPrecondition;
+  }
+  if (token == "oom" || token == "out-of-range") {
+    return StatusCode::kOutOfRange;
+  }
+  return Status::InvalidArgument("fault spec: unknown status code '" + token +
+                                 "' (want internal|io|invalid|unavailable|"
+                                 "oom)");
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("SPNET_FAULT_INJECT");
+  if (env != nullptr && env[0] != '\0') {
+    const Status s = ArmFromSpec(env);
+    if (!s.ok()) {
+      // A malformed env spec must not silently run the process without the
+      // faults the user asked for; fail loudly.
+      std::fprintf(stderr, "SPNET_FAULT_INJECT: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, int64_t first, int64_t count,
+                        StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.calls = 0;
+  s.first = first;
+  s.count = count;
+  s.code = code;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec: want site=first[:count" +
+                                     std::string("[:code]], got '") + entry +
+                                     "'");
+    }
+    const std::string site = entry.substr(0, eq);
+    const std::vector<std::string> fields = Split(entry.substr(eq + 1), ':');
+    if (fields.empty() || fields.size() > 3) {
+      return Status::InvalidArgument("fault spec: bad window in '" + entry +
+                                     "'");
+    }
+    SPNET_ASSIGN_OR_RETURN(const int64_t first, ParseOrdinal(fields[0]));
+    if (first < 1) {
+      return Status::InvalidArgument(
+          "fault spec: call ordinals are 1-based, got '" + entry + "'");
+    }
+    int64_t count = 1;
+    if (fields.size() >= 2) {
+      SPNET_ASSIGN_OR_RETURN(count, ParseOrdinal(fields[1]));
+    }
+    StatusCode code = StatusCode::kInternal;
+    if (fields.size() == 3) {
+      SPNET_ASSIGN_OR_RETURN(code, ParseCode(fields[2]));
+    }
+    Arm(site, first, count, code);
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::CallCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+Status FaultInjector::Check(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // armed_ may have been cleared between the caller's fast-path load and
+  // the lock; sites_ is authoritative.
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    // Track calls at unarmed sites too while any site is armed, so tests
+    // can assert how often a path executed.
+    if (!armed_.load(std::memory_order_relaxed)) return Status::Ok();
+    it = sites_.emplace(site, Site{}).first;
+  }
+  Site& s = it->second;
+  const int64_t call = ++s.calls;
+  if (s.first > 0 && call >= s.first &&
+      (s.count == 0 || call < s.first + s.count)) {
+    return Status(s.code, std::string("injected fault at ") + site +
+                              " (call " + std::to_string(call) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace verify
+}  // namespace spnet

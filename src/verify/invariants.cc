@@ -1,0 +1,372 @@
+#include "verify/invariants.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/math_util.h"
+#include "core/b_limiting.h"
+#include "core/block_reorganizer.h"
+#include "gpusim/device_spec.h"
+#include "sparse/reference_spgemm.h"
+
+namespace spnet {
+namespace verify {
+
+using core::Classification;
+using core::CombinedBlock;
+using core::GatherPlan;
+using core::SplitPlan;
+using core::SplitVector;
+using sparse::Index;
+using spgemm::Workload;
+
+namespace {
+
+std::string PairLabel(Index pair) { return "pair " + std::to_string(pair); }
+
+Status Violation(const std::string& what) {
+  return Status::FailedPrecondition("invariant violated: " + what);
+}
+
+}  // namespace
+
+Status CheckClassification(const Workload& workload,
+                           const Classification& classes) {
+  if (classes.dominator_threshold < 1) {
+    return Violation("dominator threshold " +
+                     std::to_string(classes.dominator_threshold) +
+                     " below 1");
+  }
+  if (classes.limit_row_threshold < 1) {
+    return Violation("limiting threshold " +
+                     std::to_string(classes.limit_row_threshold) +
+                     " below 1");
+  }
+
+  // 0 = unseen, 1..3 = bin tag; catches duplicates across and within bins.
+  const size_t pairs = workload.pair_work.size();
+  std::vector<uint8_t> seen(pairs, 0);
+  auto mark = [&](const std::vector<Index>& bin, uint8_t tag,
+                  const char* bin_name) -> Status {
+    for (Index pair : bin) {
+      if (pair < 0 || static_cast<size_t>(pair) >= pairs) {
+        return Violation(PairLabel(pair) + " out of range in " + bin_name);
+      }
+      if (seen[static_cast<size_t>(pair)] != 0) {
+        return Violation(PairLabel(pair) + " classified twice (" + bin_name +
+                         ")");
+      }
+      seen[static_cast<size_t>(pair)] = tag;
+    }
+    return Status::Ok();
+  };
+  SPNET_RETURN_IF_ERROR(mark(classes.dominators, 1, "dominators"));
+  SPNET_RETURN_IF_ERROR(mark(classes.low_performers, 2, "low performers"));
+  SPNET_RETURN_IF_ERROR(mark(classes.normals, 3, "normals"));
+
+  for (size_t i = 0; i < pairs; ++i) {
+    const int64_t work = workload.pair_work[i];
+    const Index pair = static_cast<Index>(i);
+    if (work == 0) {
+      if (seen[i] != 0) {
+        return Violation(PairLabel(pair) + " has zero work but was binned");
+      }
+      continue;
+    }
+    uint8_t expected;
+    if (work > classes.dominator_threshold) {
+      expected = 1;
+    } else if (workload.b_row_nnz[i] < 32) {
+      expected = 2;
+    } else {
+      expected = 3;
+    }
+    if (seen[i] == 0) {
+      return Violation(PairLabel(pair) + " with work " + std::to_string(work) +
+                       " was not classified");
+    }
+    if (seen[i] != expected) {
+      return Violation(PairLabel(pair) + " landed in bin " +
+                       std::to_string(seen[i]) + ", rule says " +
+                       std::to_string(expected));
+    }
+  }
+
+  // Limiting bin: exactly the rows whose C-hat population exceeds the
+  // threshold, emitted in increasing row order (the merge kernels rely on
+  // a deterministic dispatch order).
+  size_t k = 0;
+  for (size_t r = 0; r < workload.row_chat.size(); ++r) {
+    if (workload.row_chat[r] <= classes.limit_row_threshold) continue;
+    if (k >= classes.limited_rows.size() ||
+        classes.limited_rows[k] != static_cast<Index>(r)) {
+      return Violation("row " + std::to_string(r) + " exceeds the limiting " +
+                       "threshold but is missing from limited_rows");
+    }
+    ++k;
+  }
+  if (k != classes.limited_rows.size()) {
+    return Violation("limited_rows holds " +
+                     std::to_string(classes.limited_rows.size()) +
+                     " rows, rule selects " + std::to_string(k));
+  }
+  return Status::Ok();
+}
+
+Status CheckSplitPlan(const Workload& workload,
+                      const std::vector<Index>& dominators,
+                      const SplitPlan& split) {
+  std::vector<Index> expected(dominators);
+  std::sort(expected.begin(), expected.end());
+  std::vector<Index> got;
+  got.reserve(split.vectors.size());
+  for (const SplitVector& v : split.vectors) got.push_back(v.pair);
+  std::sort(got.begin(), got.end());
+  if (got != expected) {
+    return Violation("split vectors cover " + std::to_string(got.size()) +
+                     " pairs, dominators number " +
+                     std::to_string(expected.size()) +
+                     " (or the sets differ)");
+  }
+
+  int64_t fragments = 0;
+  for (const SplitVector& v : split.vectors) {
+    const size_t i = static_cast<size_t>(v.pair);
+    const int64_t col_nnz = workload.a_col_nnz[i];
+    const int64_t row_nnz = workload.b_row_nnz[i];
+    if (!IsPow2(v.factor)) {
+      return Violation(PairLabel(v.pair) + " split factor " +
+                       std::to_string(v.factor) + " is not a power of two");
+    }
+    if (v.offsets.size() != static_cast<size_t>(v.factor) + 1) {
+      return Violation(PairLabel(v.pair) + " has " +
+                       std::to_string(v.offsets.size()) + " offsets for " +
+                       std::to_string(v.factor) + " fragments");
+    }
+    if (v.offsets.front() != 0 || v.offsets.back() != col_nnz) {
+      return Violation(PairLabel(v.pair) + " offsets span [" +
+                       std::to_string(v.offsets.front()) + ", " +
+                       std::to_string(v.offsets.back()) +
+                       "), column holds " + std::to_string(col_nnz));
+    }
+    int64_t products = 0;
+    for (int f = 0; f < v.factor; ++f) {
+      const int64_t len = v.offsets[static_cast<size_t>(f) + 1] -
+                          v.offsets[static_cast<size_t>(f)];
+      if (len <= 0) {
+        return Violation(PairLabel(v.pair) + " fragment " + std::to_string(f) +
+                         " is empty or reversed");
+      }
+      products += len * row_nnz;
+    }
+    if (products != workload.pair_work[i]) {
+      return Violation(PairLabel(v.pair) + " fragments produce " +
+                       std::to_string(products) + " products, pair work is " +
+                       std::to_string(workload.pair_work[i]));
+    }
+    fragments += v.factor;
+  }
+  if (fragments != split.total_fragments) {
+    return Violation("total_fragments " +
+                     std::to_string(split.total_fragments) +
+                     " disagrees with the vectors (" +
+                     std::to_string(fragments) + ")");
+  }
+
+  const std::vector<Index> mapper = split.BuildMapper();
+  if (static_cast<int64_t>(mapper.size()) != split.total_fragments) {
+    return Violation("mapper holds " + std::to_string(mapper.size()) +
+                     " entries for " + std::to_string(split.total_fragments) +
+                     " fragments");
+  }
+  size_t cursor = 0;
+  for (const SplitVector& v : split.vectors) {
+    for (int f = 0; f < v.factor; ++f, ++cursor) {
+      if (mapper[cursor] != v.pair) {
+        return Violation("mapper fragment " + std::to_string(cursor) +
+                         " points at " + PairLabel(mapper[cursor]) +
+                         ", expected " + PairLabel(v.pair));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckGatherPlan(const Workload& workload,
+                       const std::vector<Index>& low_performers,
+                       const GatherPlan& gather, int block_size) {
+  std::vector<Index> expected(low_performers);
+  // Zero-effective pairs never reach the bins; the builder silently drops
+  // them, but a classification that produced one is itself invalid (zero
+  // b_row_nnz means zero pair work), so require full coverage.
+  std::sort(expected.begin(), expected.end());
+
+  std::vector<Index> got(gather.ungathered);
+  int64_t gathered = 0;
+  for (const CombinedBlock& block : gather.blocks) {
+    if (!IsPow2(block.micro_threads) || block.micro_threads > 32) {
+      return Violation("combined block lane quota " +
+                       std::to_string(block.micro_threads) +
+                       " is not a power of two within a warp");
+    }
+    const int capacity = std::max(1, block_size / block.micro_threads);
+    if (block.pairs.empty() ||
+        block.pairs.size() > static_cast<size_t>(capacity)) {
+      return Violation("combined block holds " +
+                       std::to_string(block.pairs.size()) +
+                       " micro-blocks, capacity is " +
+                       std::to_string(capacity));
+    }
+    for (Index pair : block.pairs) {
+      const int64_t eff = workload.b_row_nnz[static_cast<size_t>(pair)];
+      if (eff <= 0 || NextPow2(eff) != block.micro_threads) {
+        return Violation(PairLabel(pair) + " with " + std::to_string(eff) +
+                         " effective threads packed under quota " +
+                         std::to_string(block.micro_threads));
+      }
+    }
+    // Launch width: lanes round up to whole warps, never past the block.
+    const int64_t lanes =
+        static_cast<int64_t>(block.pairs.size()) * block.micro_threads;
+    const int64_t launch =
+        std::min<int64_t>(block_size, std::max<int64_t>(32, NextPow2(lanes)));
+    if (launch % 32 != 0) {
+      return Violation("combined block launch width " +
+                       std::to_string(launch) + " is not whole warps");
+    }
+    gathered += static_cast<int64_t>(block.pairs.size());
+    got.insert(got.end(), block.pairs.begin(), block.pairs.end());
+  }
+  if (gathered != gather.gathered_pairs) {
+    return Violation("gathered_pairs " + std::to_string(gather.gathered_pairs) +
+                     " disagrees with the blocks (" + std::to_string(gathered) +
+                     ")");
+  }
+  std::sort(got.begin(), got.end());
+  if (got != expected) {
+    return Violation("gathered + ungathered pairs do not partition the " +
+                     std::to_string(expected.size()) + " low performers (" +
+                     std::to_string(got.size()) + " covered)");
+  }
+  return Status::Ok();
+}
+
+Status CheckLimitedMergeOptions(const Classification& classes,
+                                const core::ReorganizerConfig& config,
+                                const spgemm::MergeOptions& options) {
+  const bool active = config.enable_limiting && !classes.limited_rows.empty();
+  if (active) {
+    if (options.limit_row_threshold != classes.limit_row_threshold) {
+      return Violation("merge options carry limiting threshold " +
+                       std::to_string(options.limit_row_threshold) +
+                       ", classifier computed " +
+                       std::to_string(classes.limit_row_threshold));
+    }
+    if (options.extra_shared_mem_bytes != config.limiting_extra_shmem) {
+      return Violation("limited kernel granted " +
+                       std::to_string(options.extra_shared_mem_bytes) +
+                       " extra shmem bytes, configured " +
+                       std::to_string(config.limiting_extra_shmem));
+    }
+  } else if (options.limit_row_threshold > 0) {
+    return Violation("limiting threshold set with limiting inactive");
+  }
+  return Status::Ok();
+}
+
+Status CheckPlanStructure(const spgemm::SpGemmPlan& plan,
+                          int64_t expected_flops) {
+  if (plan.flops != expected_flops) {
+    return Violation("plan flops " + std::to_string(plan.flops) +
+                     " disagree with workload flops " +
+                     std::to_string(expected_flops));
+  }
+  if (plan.output_nnz < 0) {
+    return Violation("negative plan output nnz");
+  }
+  for (const gpusim::KernelDesc& kernel : plan.kernels) {
+    for (size_t i = 0; i < kernel.blocks.size(); ++i) {
+      const gpusim::ThreadBlockDesc& tb = kernel.blocks[i];
+      const std::string where =
+          "kernel '" + kernel.label + "' block " + std::to_string(i);
+      if (tb.threads < 32 || tb.threads % 32 != 0) {
+        return Violation(where + " launches " + std::to_string(tb.threads) +
+                         " threads (not whole warps)");
+      }
+      if (tb.effective_threads < 0 || tb.effective_threads > tb.threads) {
+        return Violation(where + " claims " +
+                         std::to_string(tb.effective_threads) +
+                         " effective threads of " +
+                         std::to_string(tb.threads));
+      }
+      if (tb.crit_ops < 0 || tb.warp_issue_ops < tb.crit_ops) {
+        return Violation(where + " critical path " +
+                         std::to_string(tb.crit_ops) +
+                         " exceeds warp issue ops " +
+                         std::to_string(tb.warp_issue_ops));
+      }
+      if (tb.useful_lane_ops < 0 || tb.useful_lane_ops > 32 * tb.warp_issue_ops) {
+        return Violation(where + " useful lane ops " +
+                         std::to_string(tb.useful_lane_ops) +
+                         " exceed the issued lane slots");
+      }
+      if (tb.bytes_read < 0 || tb.bytes_written < 0 ||
+          tb.shared_read_bytes < 0 || tb.shared_read_bytes > tb.bytes_read) {
+        return Violation(where + " has inconsistent memory traffic");
+      }
+      if (tb.shared_mem_bytes < 0) {
+        return Violation(where + " requests negative shared memory");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status VerifyReorganizerInvariants(const sparse::CsrMatrix& a,
+                                   const sparse::CsrMatrix& b,
+                                   const core::ReorganizerConfig& config) {
+  SPNET_RETURN_IF_ERROR(config.Validate());
+  SPNET_RETURN_IF_ERROR(a.Validate());
+  SPNET_RETURN_IF_ERROR(b.Validate());
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch in invariant check");
+  }
+
+  const Workload workload = spgemm::BuildWorkload(a, b);
+  const Classification classes = core::Classify(workload, config);
+  SPNET_RETURN_IF_ERROR(CheckClassification(workload, classes));
+
+  const gpusim::DeviceSpec device = gpusim::DeviceSpec::TitanXp();
+  if (config.enable_splitting) {
+    const SplitPlan split =
+        core::BuildSplitPlan(workload, classes.dominators, config, device);
+    SPNET_RETURN_IF_ERROR(CheckSplitPlan(workload, classes.dominators, split));
+  }
+  if (config.enable_gathering) {
+    const GatherPlan gather =
+        core::BuildGatherPlan(workload, classes.low_performers, config);
+    SPNET_RETURN_IF_ERROR(CheckGatherPlan(workload, classes.low_performers,
+                                          gather, config.block_size));
+  }
+  const spgemm::MergeOptions merge =
+      core::MakeLimitedMergeOptions(classes, config);
+  SPNET_RETURN_IF_ERROR(CheckLimitedMergeOptions(classes, config, merge));
+
+  SPNET_ASSIGN_OR_RETURN(std::unique_ptr<spgemm::SpGemmAlgorithm> algorithm,
+                         core::MakeBlockReorganizer(config));
+  SPNET_ASSIGN_OR_RETURN(spgemm::SpGemmPlan plan,
+                         algorithm->Plan(a, b, device));
+  SPNET_RETURN_IF_ERROR(CheckPlanStructure(plan, workload.flops));
+
+  SPNET_ASSIGN_OR_RETURN(sparse::CsrMatrix got, algorithm->Compute(a, b));
+  SPNET_RETURN_IF_ERROR(got.Validate());
+  SPNET_ASSIGN_OR_RETURN(sparse::CsrMatrix expected,
+                         sparse::ReferenceSpGemm(a, b));
+  if (!sparse::CsrApproxEqual(expected, got)) {
+    return Violation("reorganizer output diverges from the reference");
+  }
+  return Status::Ok();
+}
+
+}  // namespace verify
+}  // namespace spnet

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/workload_classifier.h"
 #include "spgemm/workload_model.h"
 #include "tests/test_util.h"
@@ -100,6 +102,34 @@ TEST(ClassifierTest, RegularMatrixHasNoDominators) {
   const Classification c = Classify(w, ReorganizerConfig{});
   EXPECT_TRUE(c.dominators.empty());
   EXPECT_TRUE(c.limited_rows.empty());
+}
+
+TEST(ClassifierTest, HugeAlphaSaturatesThresholdInsteadOfOverflowing) {
+  // alpha * mean overflows int64; the cast used to be UB (INT64_MIN on
+  // x86, clamped back to 1), turning everything into a dominator. The
+  // threshold must saturate at INT64_MAX so nothing dominates.
+  const CsrMatrix a = testing_util::SkewedMatrix(500, 400, 31);
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  ReorganizerConfig config;
+  config.alpha = 1e30;
+  config.beta = 1e30;
+  const Classification c = Classify(w, config);
+  EXPECT_EQ(c.dominator_threshold, std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(c.limit_row_threshold, std::numeric_limits<int64_t>::max());
+  EXPECT_TRUE(c.dominators.empty());
+  EXPECT_TRUE(c.limited_rows.empty());
+  EXPECT_FALSE(c.low_performers.empty() && c.normals.empty());
+}
+
+TEST(ClassifierTest, TinyAlphaClampsThresholdToOne) {
+  const CsrMatrix a = testing_util::SkewedMatrix(200, 100, 17);
+  const spgemm::Workload w = spgemm::BuildWorkload(a, a);
+  ReorganizerConfig config;
+  config.alpha = 1e-30;
+  config.beta = 1e-30;
+  const Classification c = Classify(w, config);
+  EXPECT_EQ(c.dominator_threshold, 1);
+  EXPECT_EQ(c.limit_row_threshold, 1);
 }
 
 TEST(ClassifierTest, EmptyMatrix) {

@@ -52,6 +52,39 @@ TEST(FingerprintTest, IgnoresValues) {
   EXPECT_EQ(StructuralFingerprint(a), StructuralFingerprint(*b));
 }
 
+TEST(FingerprintTest, EmptyMatrixSpellingsShareAKey) {
+  // A default-constructed matrix stores an empty ptr array; builder-built
+  // empties carry rows()+1 zeros. Same logical structure, same key.
+  const CsrMatrix default_built;
+  sparse::CooMatrix coo(0, 0);
+  auto builder_built = CsrMatrix::FromCoo(coo);
+  ASSERT_TRUE(builder_built.ok());
+  EXPECT_EQ(StructuralFingerprint(default_built),
+            StructuralFingerprint(*builder_built));
+}
+
+TEST(FingerprintTest, EmptyMatricesOfDifferentShapesDiffer) {
+  sparse::CooMatrix coo3(3, 3);
+  sparse::CooMatrix coo4(4, 4);
+  sparse::CooMatrix coo34(3, 4);
+  auto m3 = CsrMatrix::FromCoo(coo3);
+  auto m4 = CsrMatrix::FromCoo(coo4);
+  auto m34 = CsrMatrix::FromCoo(coo34);
+  ASSERT_TRUE(m3.ok() && m4.ok() && m34.ok());
+  EXPECT_NE(StructuralFingerprint(*m3), StructuralFingerprint(*m4));
+  EXPECT_NE(StructuralFingerprint(*m3), StructuralFingerprint(*m34));
+}
+
+TEST(FingerprintTest, EmptyAndNearEmptyDiffer) {
+  sparse::CooMatrix empty(3, 3);
+  sparse::CooMatrix one(3, 3);
+  one.Add(1, 1, 5.0);
+  auto a = CsrMatrix::FromCoo(empty);
+  auto b = CsrMatrix::FromCoo(one);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(StructuralFingerprint(*a), StructuralFingerprint(*b));
+}
+
 TEST(FingerprintTest, DistinguishesStructures) {
   const CsrMatrix a = testing_util::SkewedMatrix(64, 32, 7);
   const CsrMatrix b = testing_util::SkewedMatrix(64, 32, 8);
@@ -227,6 +260,39 @@ TEST(BatchRunnerTest, DeadlineExpiryIsPerQuery) {
   EXPECT_GT(report->results[1].sim_ms, 0.0);
 }
 
+TEST(BatchRunnerTest, ZeroDeadlineIsBornExpired) {
+  const auto m = SharedSkewed(200, 64, 3);
+  BatchRunner runner(BatchOptions{});
+
+  std::vector<BatchQuery> queries = RepeatedQueries(m, 2, "reorganizer");
+  // 0 is an explicit already-expired budget, not "no deadline".
+  queries[0].deadline_ms = 0.0;
+
+  auto report = runner.Run(queries);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->deadline_expired, 1);
+  EXPECT_EQ(report->results[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(report->results[0].sim_ms, 0.0);  // expired before any work
+  EXPECT_TRUE(report->results[1].status.ok());
+}
+
+TEST(BatchRunnerTest, DefaultDeadlineIsInheritedNotOverridden) {
+  const auto m = SharedSkewed(200, 64, 3);
+  BatchOptions options;
+  options.default_deadline_ms = 1e-6;  // expires at the first check
+  BatchRunner runner(options);
+
+  std::vector<BatchQuery> queries = RepeatedQueries(m, 2, "reorganizer");
+  EXPECT_EQ(queries[0].deadline_ms, BatchQuery::kInheritDeadline);
+  // An explicit per-query budget beats the batch default.
+  queries[1].deadline_ms = 1e9;
+
+  auto report = runner.Run(queries);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->results[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(report->results[1].status.ok());
+}
+
 TEST(BatchRunnerTest, InvalidReorganizerConfigFallsBackToBaseline) {
   const auto m = SharedSkewed(150, 48, 5);
   BatchOptions options;
@@ -303,6 +369,20 @@ TEST(ManifestTest, ParsesEntriesCommentsAndRepeats) {
   EXPECT_EQ((*entries)[1].repeat, 1);
   EXPECT_EQ((*entries)[2].source, "graphs/web.mtx");
   EXPECT_EQ((*entries)[2].algorithm, "reorganizer");
+}
+
+TEST(ManifestTest, StripsTrailingCarriageReturns) {
+  // Windows-edited manifests carry \r\n line endings; the \r must not
+  // stick to the last token of each line.
+  auto entries = ParseManifest(
+      "as-caida reorganizer 3\r\n"
+      "emailEnron row-product\r\n"
+      "graphs/web.mtx\r\n");
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].repeat, 3);
+  EXPECT_EQ((*entries)[1].algorithm, "row-product");
+  EXPECT_EQ((*entries)[2].source, "graphs/web.mtx");
 }
 
 TEST(ManifestTest, RejectsMalformedRepeat) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "datasets/generators.h"
 #include "sparse/stats.h"
 
@@ -159,6 +161,79 @@ TEST(QuasiRegularTest, BandRespected) {
     for (sparse::Offset k = 0; k < row.size; ++k) {
       EXPECT_LE(std::abs(static_cast<int64_t>(row.indices[k]) - r), band);
     }
+  }
+}
+
+TEST(BlockDiagonalTest, EdgesStayInsideBlocksWithFullDiagonal) {
+  BlockDiagonalParams p;
+  p.n = 100;
+  p.block_size = 24;
+  p.fill = 0.3;
+  auto m = GenerateBlockDiagonal(p);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->rows(), 100);
+  EXPECT_EQ(m->cols(), 100);
+  ASSERT_TRUE(m->Validate().ok());
+  for (sparse::Index r = 0; r < m->rows(); ++r) {
+    const sparse::Index block_begin = (r / p.block_size) * p.block_size;
+    const sparse::Index block_end =
+        std::min<sparse::Index>(p.n, block_begin + p.block_size);
+    const sparse::SpanView row = m->Row(r);
+    bool has_diag = false;
+    for (sparse::Offset k = 0; k < row.size; ++k) {
+      EXPECT_GE(row.indices[k], block_begin) << "row " << r;
+      EXPECT_LT(row.indices[k], block_end) << "row " << r;
+      if (row.indices[k] == r) has_diag = true;
+    }
+    EXPECT_TRUE(has_diag) << "row " << r;
+  }
+  // fill=0.3 over 24x24 blocks lands well above the bare diagonal.
+  EXPECT_GT(m->nnz(), m->rows());
+}
+
+TEST(BlockDiagonalTest, Deterministic) {
+  BlockDiagonalParams p;
+  p.n = 96;
+  p.block_size = 16;
+  p.fill = 0.25;
+  auto a = GenerateBlockDiagonal(p);
+  auto b = GenerateBlockDiagonal(p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(CsrApproxEqual(*a, *b, 0.0));
+  p.seed = 43;
+  auto c = GenerateBlockDiagonal(p);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(CsrApproxEqual(*a, *c, 0.0));
+}
+
+TEST(BlockDiagonalTest, RejectsBadParameters) {
+  BlockDiagonalParams p;
+  p.n = 0;
+  EXPECT_FALSE(GenerateBlockDiagonal(p).ok());
+  p.n = 10;
+  p.block_size = 0;
+  EXPECT_FALSE(GenerateBlockDiagonal(p).ok());
+  p.block_size = 4;
+  p.fill = 1.5;
+  EXPECT_FALSE(GenerateBlockDiagonal(p).ok());
+  p.fill = -0.1;
+  EXPECT_FALSE(GenerateBlockDiagonal(p).ok());
+}
+
+TEST(BlockDiagonalTest, ZeroFillKeepsOnlyTheDiagonal) {
+  BlockDiagonalParams p;
+  p.n = 50;
+  p.block_size = 10;
+  p.fill = 0.0;
+  p.weighted = false;
+  auto m = GenerateBlockDiagonal(p);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 50);
+  for (sparse::Index r = 0; r < m->rows(); ++r) {
+    const sparse::SpanView row = m->Row(r);
+    ASSERT_EQ(row.size, 1) << "row " << r;
+    EXPECT_EQ(row.indices[0], r);
+    EXPECT_EQ(row.values[0], 1.0);
   }
 }
 

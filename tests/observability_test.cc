@@ -4,6 +4,7 @@
 // Compute/Measure collects deterministic metrics at any thread count.
 
 #include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -257,6 +258,46 @@ TEST(RegistryTest, HistogramBucketing) {
   EXPECT_EQ(h.bucket(3), 2);
   EXPECT_EQ(metrics::Histogram::BucketUpperBound(3), 7);
 }
+
+TEST(RegistryTest, EmptyHistogramReportsZeroExtremes) {
+  // The raw min/max slots hold INT64_MAX/INT64_MIN sentinels before the
+  // first observation; accessors must never leak them.
+  const metrics::Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(RegistryTest, HistogramExtremeValues) {
+  metrics::Histogram h;
+  h.Observe(0);
+  EXPECT_EQ(h.bucket(0), 1);  // bucket 0 holds exactly {0}
+  h.Observe(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(h.bucket(metrics::Histogram::kBuckets - 1), 1);
+  EXPECT_EQ(h.max(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(metrics::Histogram::BucketUpperBound(63),
+            std::numeric_limits<int64_t>::max());
+}
+
+#ifdef NDEBUG
+TEST(RegistryTest, NegativeObservationClampsToZeroInRelease) {
+  // In debug builds the assert fires instead; the release clamp keeps a
+  // buggy call site from driving sum/min negative.
+  metrics::Histogram h;
+  h.Observe(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.bucket(0), 1);
+}
+#else
+TEST(RegistryTest, NegativeObservationAssertsInDebug) {
+  metrics::Histogram h;
+  EXPECT_DEATH(h.Observe(-5), "non-negative");
+}
+#endif
 
 TEST(RegistryTest, NameCollisionAcrossKindsIsDisabled) {
   metrics::Registry registry;

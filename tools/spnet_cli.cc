@@ -13,6 +13,15 @@
 //   spnet_cli batch    --manifest queries.txt [--plan_cache 64]
 //             [--deadline_ms D] [--fallback outer-product] [--repeats N]
 //             [--scale 0.05] [--cache dir] [--device titanxp]
+//   spnet_cli verify   [--sweep small|medium] [--seed 42]
+//
+// verify runs the correctness harness: a differential sweep of every
+// registered algorithm against the reference spGEMM over seeded input
+// families, the Block Reorganizer plan-invariant validators on every
+// ablation variant, and one deterministic fault-injection run showing the
+// batch engine degrading to its fallback with a per-query error. Exits
+// nonzero on any failure, printing the first divergence as
+// (row, col, expected, got) with the offending seed.
 //
 // Omitting --b computes C = A^2. Files ending in .spnb use the binary
 // container; anything else is treated as Matrix Market. Every command
@@ -60,6 +69,9 @@
 #include "spgemm/algorithm.h"
 #include "spgemm/algorithm_registry.h"
 #include "spgemm/exec_context.h"
+#include "verify/differential.h"
+#include "verify/fault_injection.h"
+#include "verify/invariants.h"
 
 namespace spnet {
 namespace {
@@ -329,6 +341,102 @@ int CmdBatch(const FlagParser& flags) {
   return 0;
 }
 
+int CmdVerify(const FlagParser& flags) {
+  const std::string sweep = flags.GetString("sweep", "small");
+  verify::DifferentialOptions options;
+  if (sweep == "small") {
+    options.cases_per_family = 2;
+  } else if (sweep == "medium") {
+    options.cases_per_family = 4;
+  } else {
+    return Fail(Status::InvalidArgument(
+        "--sweep must be small or medium, got " + sweep));
+  }
+  options.base_seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  bool failed = false;
+
+  // 1. Differential sweep: every registered algorithm vs the reference.
+  auto report = verify::RunDifferentialSweep(options);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s\n", report->Summary().c_str());
+  failed = failed || !report->ok();
+
+  // 2. Plan invariants on every ablation variant of the reorganizer.
+  struct Variant {
+    const char* name;
+    bool split;
+    bool gather;
+    bool limit;
+  };
+  const Variant variants[] = {
+      {"reorganizer", true, true, true},
+      {"reorganizer-splitting", true, false, false},
+      {"reorganizer-gathering", false, true, false},
+      {"reorganizer-limiting", false, false, true},
+      {"reorganizer-none", false, false, false},
+  };
+  for (const Variant& v : variants) {
+    core::ReorganizerConfig config;
+    config.enable_splitting = v.split;
+    config.enable_gathering = v.gather;
+    config.enable_limiting = v.limit;
+    Status worst = Status::Ok();
+    for (const std::string& family : verify::SweepFamilyNames()) {
+      for (int k = 0; k < options.cases_per_family; ++k) {
+        const uint64_t seed = options.base_seed + static_cast<uint64_t>(k);
+        auto c = verify::MakeSweepCase(family, seed);
+        if (!c.ok()) return Fail(c.status());
+        const Status s = verify::VerifyReorganizerInvariants(c->a, c->b,
+                                                             config);
+        if (!s.ok()) {
+          worst = Status(s.code(), family + " (seed " + std::to_string(seed) +
+                                       "): " + s.message());
+          break;
+        }
+      }
+      if (!worst.ok()) break;
+    }
+    std::printf("invariants %-24s %s\n", v.name,
+                worst.ok() ? "ok" : worst.ToString().c_str());
+    failed = failed || !worst.ok();
+  }
+
+  // 3. Deterministic fault injection: every Plan call fails, so the batch
+  // engine must degrade the query to its fallback and surface the injected
+  // error per query while the batch itself stays OK.
+  {
+    verify::FaultInjector& injector = verify::FaultInjector::Global();
+    injector.Reset();
+    injector.Arm(verify::kSitePlan, /*first=*/1, /*count=*/0);
+    auto c = verify::MakeSweepCase("banded", options.base_seed);
+    if (!c.ok()) {
+      injector.Reset();
+      return Fail(c.status());
+    }
+    engine::BatchRunner runner(engine::BatchOptions{});
+    engine::BatchQuery query;
+    query.id = "fault-demo";
+    query.a = std::make_shared<const CsrMatrix>(std::move(c->a));
+    query.algorithm = "reorganizer";
+    auto run = runner.Run({query});
+    injector.Reset();
+    if (!run.ok()) return Fail(run.status());
+    const engine::QueryResult& r = run->results[0];
+    const bool demo_ok = !r.status.ok() && r.fallback_used;
+    std::printf("fault injection (%s armed): fallback_used=%s, status=%s\n",
+                verify::kSitePlan, r.fallback_used ? "true" : "false",
+                r.status.ToString().c_str());
+    if (!demo_ok) {
+      std::printf("fault-injection demo FAILED: expected a degraded query "
+                  "with a non-OK status\n");
+      failed = true;
+    }
+  }
+
+  std::printf("verify: %s\n", failed ? "FAILED" : "all checks passed");
+  return failed ? 1 : 0;
+}
+
 int CmdConvert(const FlagParser& flags) {
   auto m = Load(flags.GetString("in", ""));
   if (!m.ok()) return Fail(m.status());
@@ -377,7 +485,7 @@ int CmdGenerate(const FlagParser& flags) {
 int Usage() {
   std::fprintf(stderr,
                "usage: spnet_cli "
-               "<multiply|profile|classify|batch|convert|generate>"
+               "<multiply|profile|classify|batch|verify|convert|generate>"
                " [flags]\n(see the header comment of tools/spnet_cli.cc)\n");
   return 2;
 }
@@ -394,6 +502,7 @@ int Run(int argc, char** argv) {
   if (command == "profile") return CmdProfile(flags);
   if (command == "classify") return CmdClassify(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "verify") return CmdVerify(flags);
   if (command == "convert") return CmdConvert(flags);
   if (command == "generate") return CmdGenerate(flags);
   return Usage();
