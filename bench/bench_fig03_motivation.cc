@@ -53,7 +53,8 @@ int Run(int argc, char** argv) {
     const double top = busy.empty() ? 0.0 : busy.front();
     auto pct = [&](double p) {
       if (busy.empty() || top <= 0.0) return 0.0;
-      const size_t i = static_cast<size_t>(p * (busy.size() - 1));
+      const size_t i =
+          static_cast<size_t>(p * static_cast<double>(busy.size() - 1));
       return busy[i] / top;
     };
     sm_table.AddRow({name, metrics::FormatDouble(m->expansion.Lbi()),

@@ -36,9 +36,9 @@ struct ThreadPool::Job {
   std::atomic<int64_t> chunks_done{0};
   std::atomic<bool> failed{false};
 
-  std::mutex error_mu;
-  int64_t error_chunk = std::numeric_limits<int64_t>::max();
-  Status error_status;  // guarded by error_mu
+  Mutex error_mu;
+  int64_t error_chunk GUARDED_BY(error_mu) = std::numeric_limits<int64_t>::max();
+  Status error_status GUARDED_BY(error_mu);
 };
 
 ThreadPool::ThreadPool(int threads) {
@@ -51,10 +51,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -75,7 +75,7 @@ void ThreadPool::RunChunks(Job* job, int thread_index) {
       const int64_t e = std::min(job->end, b + job->grain);
       Status s = (*job->fn)(b, e, thread_index);
       if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(job->error_mu);
+        MutexLock lock(&job->error_mu);
         if (c < job->error_chunk) {
           job->error_chunk = c;
           job->error_status = std::move(s);
@@ -103,24 +103,26 @@ void ThreadPool::RunChunks(Job* job, int thread_index) {
 void ThreadPool::NotifyJobDone() {
   // Lock/unlock pairs the notification with the submitter's predicate
   // check so the wakeup cannot be lost.
-  { std::lock_guard<std::mutex> lock(mu_); }
-  done_cv_.notify_all();
+  { MutexLock lock(&mu_); }
+  done_cv_.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
   uint64_t seen_generation = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    work_cv_.wait(lock, [&] {
-      return stop_ || job_generation_ != seen_generation;
-    });
-    if (stop_) return;
+    while (!stop_ && job_generation_ == seen_generation) work_cv_.Wait(&mu_);
+    if (stop_) {
+      mu_.Unlock();
+      return;
+    }
     seen_generation = job_generation_;
     std::shared_ptr<Job> job = job_;
-    if (!job) continue;
-    lock.unlock();
-    RunChunks(job.get(), worker_index);
-    lock.lock();
+    mu_.Unlock();
+    // The lock is dropped while chunks execute; the job itself is kept
+    // alive by the shared_ptr copied out under the lock.
+    if (job != nullptr) RunChunks(job.get(), worker_index);
+    mu_.Lock();
   }
 }
 
@@ -149,7 +151,7 @@ Status ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   }
 
   // One top-level job at a time; concurrent submitters queue here.
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  MutexLock submit_lock(&submit_mu_);
   stat_parallel_jobs_.fetch_add(1, std::memory_order_relaxed);
 
   auto job = std::make_shared<Job>();
@@ -161,26 +163,26 @@ Status ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   job->pool = this;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     job_ = job;
     ++job_generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The submitting thread participates as index 0.
   RunChunks(job.get(), 0);
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-      return job->chunks_done.load(std::memory_order_acquire) ==
-             job->num_chunks;
-    });
+    MutexLock lock(&mu_);
+    while (job->chunks_done.load(std::memory_order_acquire) !=
+           job->num_chunks) {
+      done_cv_.Wait(&mu_);
+    }
     job_.reset();
   }
 
   if (job->failed.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(job->error_mu);
+    MutexLock lock(&job->error_mu);
     return job->error_status;
   }
   return Status::Ok();
@@ -197,14 +199,14 @@ ThreadPool::Stats ThreadPool::stats() const {
 
 namespace {
 
-std::mutex g_global_pool_mu;
-std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_pool_mu
-int g_requested_threads = 0;                // guarded by g_global_pool_mu
+Mutex g_global_pool_mu;
+std::unique_ptr<ThreadPool> g_global_pool GUARDED_BY(g_global_pool_mu);
+int g_requested_threads GUARDED_BY(g_global_pool_mu) = 0;
 
 }  // namespace
 
 ThreadPool& GlobalThreadPool() {
-  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  MutexLock lock(&g_global_pool_mu);
   if (!g_global_pool) {
     g_global_pool = std::make_unique<ThreadPool>(g_requested_threads);
   }
@@ -212,13 +214,13 @@ ThreadPool& GlobalThreadPool() {
 }
 
 void SetGlobalThreadCount(int threads) {
-  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  MutexLock lock(&g_global_pool_mu);
   g_requested_threads = threads;
   g_global_pool.reset();
 }
 
 int GlobalThreadCount() {
-  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  MutexLock lock(&g_global_pool_mu);
   if (g_global_pool) return g_global_pool->threads();
   return ResolveThreadCount(g_requested_threads);
 }

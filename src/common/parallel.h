@@ -3,16 +3,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/math_util.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace spnet {
 
@@ -68,8 +68,8 @@ class ThreadPool {
   /// Runs `fn` over [begin, end) in chunks of `grain` (clamped to >= 1).
   /// Empty ranges return Ok without invoking `fn`. Single-chunk ranges,
   /// 1-thread pools and nested calls run inline on the caller.
-  Status ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                     const ChunkFn& fn);
+  [[nodiscard]] Status ParallelFor(int64_t begin, int64_t end,
+                                   int64_t grain, const ChunkFn& fn);
 
   /// Map-reduce over [begin, end): `map(chunk_begin, chunk_end, thread)`
   /// produces one partial per chunk; partials are combined *in chunk
@@ -82,12 +82,12 @@ class ThreadPool {
     if (grain < 1) grain = 1;
     const int64_t num_chunks = CeilDiv(end - begin, grain);
     std::vector<T> partials(static_cast<size_t>(num_chunks), init);
-    ParallelFor(begin, end, grain,
+    SPNET_CHECK_OK(ParallelFor(begin, end, grain,
                 [&](int64_t b, int64_t e, int thread_index) {
                   partials[static_cast<size_t>((b - begin) / grain)] =
                       map(b, e, thread_index);
                   return Status::Ok();
-                });
+                }));
     T acc = std::move(init);
     for (T& p : partials) acc = combine(std::move(acc), std::move(p));
     return acc;
@@ -101,14 +101,15 @@ class ThreadPool {
   static void RunChunks(Job* job, int thread_index);
   void NotifyJobDone();
 
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< workers wait here for a job
-  std::condition_variable done_cv_;  ///< the submitter waits here
-  std::shared_ptr<Job> job_;         ///< guarded by mu_
-  uint64_t job_generation_ = 0;      ///< guarded by mu_
-  bool stop_ = false;                ///< guarded by mu_
-  std::mutex submit_mu_;  ///< serializes concurrent top-level submitters
+  std::vector<std::thread> workers_;  ///< immutable after construction
+  Mutex mu_;
+  CondVar work_cv_;  ///< workers wait here for a job
+  CondVar done_cv_;  ///< the submitter waits here
+  std::shared_ptr<Job> job_ GUARDED_BY(mu_);
+  uint64_t job_generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Serializes concurrent top-level submitters; always taken before mu_.
+  Mutex submit_mu_ ACQUIRED_BEFORE(mu_);
 
   std::atomic<int64_t> stat_parallel_jobs_{0};
   std::atomic<int64_t> stat_inline_jobs_{0};
@@ -132,8 +133,9 @@ void SetGlobalThreadCount(int threads);
 int GlobalThreadCount();
 
 /// Convenience wrappers over GlobalThreadPool().
-inline Status ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                          const ThreadPool::ChunkFn& fn) {
+[[nodiscard]] inline Status ParallelFor(int64_t begin, int64_t end,
+                                        int64_t grain,
+                                        const ThreadPool::ChunkFn& fn) {
   return GlobalThreadPool().ParallelFor(begin, end, grain, fn);
 }
 

@@ -32,7 +32,12 @@ const char* StatusCodeName(StatusCode code);
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class is [[nodiscard]]: a call site that drops a returned Status on
+/// the floor is a compile error under SPNET_WERROR (and an spnet_lint
+/// `discarded-status` diagnostic). Intentional drops must say so with a
+/// cast: `(void)DoThing();  // why it is safe to ignore`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -92,8 +97,9 @@ class Status {
 
 /// Result<T> couples a Status with a value; the value is only meaningful
 /// when ok(). Move-friendly, exception-free analogue of absl::StatusOr.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
@@ -145,6 +151,24 @@ class Result {
   do {                                          \
     ::spnet::Status _spnet_status = (expr);     \
     if (!_spnet_status.ok()) return _spnet_status; \
+  } while (false)
+
+/// Asserts that an operation which is infallible by construction really
+/// succeeded; aborts with the status text otherwise. This is the loud
+/// alternative to discarding a [[nodiscard]] Status: use it where the
+/// enclosing function cannot propagate (returns a value, not Status) and
+/// every failure path of `expr` is provably unreachable — e.g. a
+/// ParallelFor whose chunk function always returns Ok. Never use it to
+/// silence a genuinely fallible call.
+#define SPNET_CHECK_OK(expr)                                          \
+  do {                                                                \
+    const ::spnet::Status _spnet_check_status = (expr);               \
+    if (!_spnet_check_status.ok()) {                                  \
+      std::fprintf(stderr, "SPNET_CHECK_OK failed at %s:%d: %s\n",    \
+                   __FILE__, __LINE__,                                \
+                   _spnet_check_status.ToString().c_str());           \
+      std::abort();                                                   \
+    }                                                                 \
   } while (false)
 
 #define SPNET_INTERNAL_CONCAT_IMPL(a, b) a##b

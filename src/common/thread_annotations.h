@@ -1,0 +1,92 @@
+#ifndef SPNET_COMMON_THREAD_ANNOTATIONS_H_
+#define SPNET_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// These expand to Clang's capability attributes when compiling with Clang
+/// (the CI lint job builds with `-Wthread-safety -Werror=thread-safety`)
+/// and to nothing elsewhere, so GCC builds are unaffected. The vocabulary
+/// follows https://clang.llvm.org/docs/ThreadSafetyAnalysis.html:
+///
+///   - CAPABILITY declares a lock-like type (common/mutex.h's Mutex).
+///   - GUARDED_BY(mu) on a member/global means "reads and writes require
+///     holding mu"; PT_GUARDED_BY guards the pointee of a pointer.
+///   - REQUIRES(mu) on a function means "callers must hold mu";
+///     EXCLUDES(mu) means "callers must NOT hold mu" (anti-deadlock).
+///   - ACQUIRE/RELEASE/TRY_ACQUIRE annotate the lock operations
+///     themselves; SCOPED_CAPABILITY marks RAII lock holders.
+///
+/// The macros are deliberately unprefixed — the canonical spellings from
+/// the Clang documentation — and guarded so a TU that already defines
+/// them (there is none in this repo) keeps its own definitions.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SPNET_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef SPNET_THREAD_ANNOTATION_
+#define SPNET_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) SPNET_THREAD_ANNOTATION_(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY SPNET_THREAD_ANNOTATION_(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) SPNET_THREAD_ANNOTATION_(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) SPNET_THREAD_ANNOTATION_(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  SPNET_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) SPNET_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  SPNET_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) SPNET_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) SPNET_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  SPNET_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) SPNET_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) SPNET_THREAD_ANNOTATION_(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) SPNET_THREAD_ANNOTATION_(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SPNET_THREAD_ANNOTATION_(no_thread_safety_analysis)
+#endif
+
+#endif  // SPNET_COMMON_THREAD_ANNOTATIONS_H_

@@ -19,7 +19,7 @@ namespace datasets {
 ///
 /// Pass an empty `cache_dir` to bypass the cache entirely (pure
 /// generation). The directory must already exist.
-Result<sparse::CsrMatrix> MaterializeCached(const RealWorldSpec& spec,
+[[nodiscard]] Result<sparse::CsrMatrix> MaterializeCached(const RealWorldSpec& spec,
                                             double scale,
                                             const std::string& cache_dir,
                                             uint64_t seed = 42);

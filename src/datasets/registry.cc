@@ -77,8 +77,10 @@ std::vector<RealWorldSpec> BuildTableTwo() {
 }  // namespace
 
 const std::vector<RealWorldSpec>& TableTwoDatasets() {
+  // Leaked on purpose: static-destruction-safe registry.
   static const std::vector<RealWorldSpec>& specs =
-      *new std::vector<RealWorldSpec>(BuildTableTwo());
+      *new std::vector<RealWorldSpec>(  // spnet-lint: allow(raw-new-delete)
+          BuildTableTwo());
   return specs;
 }
 
@@ -138,8 +140,10 @@ Result<CsrMatrix> Materialize(const RealWorldSpec& spec, double scale,
 }
 
 const std::vector<SyntheticSpec>& TableThreeDatasets() {
+  // Leaked on purpose: static-destruction-safe registry.
   static const std::vector<SyntheticSpec>& specs =
-      *new std::vector<SyntheticSpec>(std::vector<SyntheticSpec>{
+      *new std::vector<SyntheticSpec>(  // spnet-lint: allow(raw-new-delete)
+          std::vector<SyntheticSpec>{
           // S: scalability — size grows, R-MAT (0.45,0.15,0.15,0.25).
           {"s1", 250000, 62500, 0.45, 0.15, 0.15, 0.25},
           {"s2", 500000, 250000, 0.45, 0.15, 0.15, 0.25},

@@ -111,8 +111,8 @@ class BatchRunner {
  public:
   explicit BatchRunner(BatchOptions options);
 
-  Result<BatchReport> Run(const std::vector<BatchQuery>& queries,
-                          spgemm::ExecContext* ctx = nullptr);
+  [[nodiscard]] Result<BatchReport> Run(const std::vector<BatchQuery>& queries,
+                                        spgemm::ExecContext* ctx = nullptr);
 
   PlanCache& plan_cache() { return cache_; }
   const BatchOptions& options() const { return options_; }

@@ -36,7 +36,7 @@ struct ManifestEntry {
 /// Unknown algorithm names are accepted here — the BatchRunner degrades
 /// them to its fallback at execution time. Malformed repeats (non-numeric,
 /// < 1, > 100000) are InvalidArgument.
-Result<std::vector<ManifestEntry>> ParseManifest(const std::string& content);
+[[nodiscard]] Result<std::vector<ManifestEntry>> ParseManifest(const std::string& content);
 
 /// How BuildQueries materializes dataset sources.
 struct ManifestLoadOptions {
@@ -54,12 +54,12 @@ struct ManifestLoadOptions {
 /// is loaded or generated exactly once and shared across its repeats.
 /// Query ids are "<source>:<algorithm>#<k>". Fails if any source cannot be
 /// loaded — a missing input is a manifest error, not a per-query one.
-Result<std::vector<BatchQuery>> BuildQueries(
+[[nodiscard]] Result<std::vector<BatchQuery>> BuildQueries(
     const std::vector<ManifestEntry>& entries,
     const ManifestLoadOptions& options);
 
 /// ParseManifest + BuildQueries over a manifest file on disk.
-Result<std::vector<BatchQuery>> LoadManifest(
+[[nodiscard]] Result<std::vector<BatchQuery>> LoadManifest(
     const std::string& path, const ManifestLoadOptions& options);
 
 }  // namespace engine

@@ -17,7 +17,7 @@ size_t PlanKeyHash::operator()(const PlanKey& k) const {
 std::shared_ptr<const spgemm::SpGemmPlan> PlanCache::Lookup(
     const PlanKey& key, spgemm::ExecContext* ctx) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       // Refresh recency: splice the entry to the front of the LRU list.
@@ -37,7 +37,7 @@ std::shared_ptr<const spgemm::SpGemmPlan> PlanCache::Insert(
   auto shared =
       std::make_shared<const spgemm::SpGemmPlan>(std::move(plan));
   if (capacity_ == 0) return shared;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent planners can race to insert the same key; keep the newer
@@ -58,13 +58,13 @@ std::shared_ptr<const spgemm::SpGemmPlan> PlanCache::Insert(
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lru_.size();
 }
 

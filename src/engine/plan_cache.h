@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "spgemm/exec_context.h"
 #include "spgemm/plan.h"
 
@@ -90,10 +91,11 @@ class PlanCache {
   using Entry = std::pair<PlanKey, std::shared_ptr<const spgemm::SpGemmPlan>>;
 
   const size_t capacity_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Most recently used at the front; eviction pops the back.
-  std::list<Entry> lru_;
-  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_
+      GUARDED_BY(mu_);
 
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};

@@ -1,0 +1,265 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace spnet {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return c == '_' || std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsIdentChar(char c) {
+  return c == '_' || std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Cursor over the source with line accounting. All Advance paths go
+/// through Bump so multi-line tokens get correct end lines.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& source) : src_(source) {}
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  int line() const { return line_; }
+
+  char Bump() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool Match(const char* text) const {
+    size_t i = 0;
+    while (text[i] != '\0') {
+      if (Peek(i) != text[i]) return false;
+      ++i;
+    }
+    return true;
+  }
+
+ private:
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Multi-character punctuators, longest first so greedy matching works.
+/// Only operators that exist in C++ — rules rely on `::`, `->` and friends
+/// arriving as single tokens.
+// clang-format off
+constexpr const char* kPunctuators[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*",
+};
+// clang-format on
+
+void LexLineComment(Cursor* cur, std::string* text) {
+  // Past the "//"; a trailing backslash continues the comment (rare, but
+  // the compiler honors it and so must the suppression scanner).
+  while (!cur->AtEnd()) {
+    if (cur->Peek() == '\\' &&
+        (cur->Peek(1) == '\n' ||
+         (cur->Peek(1) == '\r' && cur->Peek(2) == '\n'))) {
+      cur->Bump();
+      if (cur->Peek() == '\r') cur->Bump();
+      cur->Bump();
+      text->push_back('\n');
+      continue;
+    }
+    if (cur->Peek() == '\n') break;
+    text->push_back(cur->Bump());
+  }
+}
+
+void LexBlockComment(Cursor* cur, std::string* text) {
+  while (!cur->AtEnd()) {
+    if (cur->Peek() == '*' && cur->Peek(1) == '/') {
+      cur->Bump();
+      cur->Bump();
+      return;
+    }
+    text->push_back(cur->Bump());
+  }
+}
+
+/// Quoted literal with escapes: `quote` is '"' or '\''. The opening quote
+/// has been consumed; text accumulates the raw characters incl. quotes.
+void LexQuoted(Cursor* cur, char quote, std::string* text) {
+  while (!cur->AtEnd()) {
+    const char c = cur->Bump();
+    text->push_back(c);
+    if (c == '\\' && !cur->AtEnd()) {
+      text->push_back(cur->Bump());
+      continue;
+    }
+    if (c == quote || c == '\n') return;  // newline: unterminated, recover
+  }
+}
+
+/// R"tag( ... )tag" — the `R"` has been consumed.
+void LexRawString(Cursor* cur, std::string* text) {
+  std::string tag;
+  while (!cur->AtEnd() && cur->Peek() != '(' && cur->Peek() != '\n' &&
+         tag.size() < 16) {
+    tag.push_back(cur->Bump());
+  }
+  if (cur->Peek() != '(') return;  // malformed; recover at whatever follows
+  cur->Bump();
+  const std::string closer = ")" + tag + "\"";
+  while (!cur->AtEnd()) {
+    if (cur->Match(closer.c_str())) {
+      for (size_t i = 0; i < closer.size(); ++i) text->push_back(cur->Bump());
+      return;
+    }
+    text->push_back(cur->Bump());
+  }
+}
+
+/// A whole preprocessor directive, backslash-continuations folded in.
+/// Comments inside the directive are skipped (they end the text for `//`).
+void LexPreproc(Cursor* cur, std::string* text) {
+  while (!cur->AtEnd()) {
+    if (cur->Peek() == '\\' &&
+        (cur->Peek(1) == '\n' ||
+         (cur->Peek(1) == '\r' && cur->Peek(2) == '\n'))) {
+      cur->Bump();
+      if (cur->Peek() == '\r') cur->Bump();
+      cur->Bump();
+      text->push_back(' ');
+      continue;
+    }
+    if (cur->Peek() == '/' && cur->Peek(1) == '/') break;
+    if (cur->Peek() == '/' && cur->Peek(1) == '*') {
+      cur->Bump();
+      cur->Bump();
+      std::string ignored;
+      LexBlockComment(cur, &ignored);
+      text->push_back(' ');
+      continue;
+    }
+    if (cur->Peek() == '\n') break;
+    text->push_back(cur->Bump());
+  }
+}
+
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+bool IsNarrowQuotePrefix(const std::string& ident) {
+  return ident == "L" || ident == "u" || ident == "U" || ident == "u8";
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+  bool line_has_token = false;  // directives only start a line
+  int current_line = 1;
+
+  while (!cur.AtEnd()) {
+    if (cur.line() != current_line) {
+      current_line = cur.line();
+      line_has_token = false;
+    }
+    const char c = cur.Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+        c == '\f') {
+      cur.Bump();
+      continue;
+    }
+
+    Token token;
+    token.line = cur.line();
+
+    if (c == '/' && cur.Peek(1) == '/') {
+      cur.Bump();
+      cur.Bump();
+      token.kind = TokenKind::kComment;
+      LexLineComment(&cur, &token.text);
+    } else if (c == '/' && cur.Peek(1) == '*') {
+      cur.Bump();
+      cur.Bump();
+      token.kind = TokenKind::kComment;
+      LexBlockComment(&cur, &token.text);
+    } else if (c == '#' && !line_has_token) {
+      token.kind = TokenKind::kPreproc;
+      LexPreproc(&cur, &token.text);
+    } else if (c == '"') {
+      token.kind = TokenKind::kString;
+      token.text.push_back(cur.Bump());
+      LexQuoted(&cur, '"', &token.text);
+    } else if (c == '\'') {
+      token.kind = TokenKind::kCharacter;
+      token.text.push_back(cur.Bump());
+      LexQuoted(&cur, '\'', &token.text);
+    } else if (IsIdentStart(c)) {
+      token.kind = TokenKind::kIdentifier;
+      while (IsIdentChar(cur.Peek())) token.text.push_back(cur.Bump());
+      // Encoding prefixes glue onto the literal that follows:
+      // R"(..)", u8"...", L'x'.
+      if (cur.Peek() == '"' && IsRawStringPrefix(token.text)) {
+        token.kind = TokenKind::kString;
+        token.text.push_back(cur.Bump());
+        LexRawString(&cur, &token.text);
+      } else if (cur.Peek() == '"' && IsNarrowQuotePrefix(token.text)) {
+        token.kind = TokenKind::kString;
+        token.text.push_back(cur.Bump());
+        LexQuoted(&cur, '"', &token.text);
+      } else if (cur.Peek() == '\'' && IsNarrowQuotePrefix(token.text)) {
+        token.kind = TokenKind::kCharacter;
+        token.text.push_back(cur.Bump());
+        LexQuoted(&cur, '\'', &token.text);
+      }
+    } else if (IsDigit(c) || (c == '.' && IsDigit(cur.Peek(1)))) {
+      // pp-number: digits, idents, dots, digit separators, exponent signs.
+      token.kind = TokenKind::kNumber;
+      token.text.push_back(cur.Bump());
+      while (!cur.AtEnd()) {
+        const char n = cur.Peek();
+        if (IsIdentChar(n) || n == '.' || n == '\'') {
+          token.text.push_back(cur.Bump());
+        } else if ((n == '+' || n == '-') && !token.text.empty() &&
+                   (token.text.back() == 'e' || token.text.back() == 'E' ||
+                    token.text.back() == 'p' || token.text.back() == 'P')) {
+          token.text.push_back(cur.Bump());
+        } else {
+          break;
+        }
+      }
+    } else {
+      token.kind = TokenKind::kPunct;
+      bool matched = false;
+      for (const char* punct : kPunctuators) {
+        if (cur.Match(punct)) {
+          for (size_t i = 0; punct[i] != '\0'; ++i) {
+            token.text.push_back(cur.Bump());
+          }
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) token.text.push_back(cur.Bump());
+    }
+
+    token.end_line = cur.line();
+    line_has_token = true;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace lint
+}  // namespace spnet

@@ -1,0 +1,45 @@
+#ifndef SPNET_LINT_LEXER_H_
+#define SPNET_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace spnet {
+namespace lint {
+
+/// Token categories the rule engine needs. The lexer is a real C++
+/// tokenizer for everything that matters to lint rules — comments, string
+/// and character literals (including raw strings), preprocessor
+/// directives — so rules never see a `new` inside a string or a
+/// suppression marker inside code. It is deliberately NOT a full C++
+/// grammar: keywords arrive as identifiers and operators as punctuation;
+/// rules pattern-match token runs instead of parsing.
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords, e.g. `delete`, `ParallelFor`
+  kNumber,      ///< numeric literals (pp-number, loosely)
+  kString,      ///< "..." and R"tag(...)tag" with any encoding prefix
+  kCharacter,   ///< '...'
+  kPunct,       ///< operators and punctuation, longest-match (`::`, `->`)
+  kComment,     ///< // and /* */ bodies, text excludes the delimiters
+  kPreproc,     ///< a whole directive line: `#include <map>`, `#define ...`
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;  ///< 1-based line of the token's first character
+  /// For multi-line tokens (block comments, raw strings, continued
+  /// directives): the line of the last character. Equals `line` otherwise.
+  int end_line = 1;
+};
+
+/// Tokenizes `source`. Never fails: unterminated literals and comments
+/// lex as one token running to end of input (the linter favors best-effort
+/// diagnostics over rejecting a file a compiler already accepted or a
+/// fixture meant to be broken).
+std::vector<Token> Tokenize(const std::string& source);
+
+}  // namespace lint
+}  // namespace spnet
+
+#endif  // SPNET_LINT_LEXER_H_

@@ -1,0 +1,514 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace spnet {
+namespace lint {
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+/// Status/Result-returning entry points whose return value must not be
+/// discarded. The compiler enforces this authoritatively via [[nodiscard]]
+/// (-Wunused-result); this rule is the portable backstop that fires in any
+/// build mode and inside templates the compiler never instantiates.
+const std::set<std::string>& StatusReturningNames() {
+  // clang-format off
+  static const std::set<std::string> kNames = {
+      "ArmFromSpec",    "BuildQueries",
+      "Check",          "CheckClassification",
+      "CheckGatherPlan", "CheckLimitedMergeOptions",
+      "CheckPlanStructure", "CheckSplitPlan",
+      "Compute",        "Create",
+      "LoadManifest",   "MakeSweepCase",
+      "MaterializeCached", "MaybeInjectFault",
+      "ParallelFor",    "ParseManifest",
+      "ParseMatrixMarket", "Plan",
+      "ReadBinary",     "ReadMatrixMarket",
+      "Register",       "RegisterAlias",
+      "Run",            "RunDifferentialSweep",
+      "Validate",       "VerifyReorganizerInvariants",
+      "WriteBinary",    "WriteMatrixMarket",
+  };
+  // clang-format on
+  return kNames;
+}
+
+const std::set<std::string>& CtypeNames() {
+  // clang-format off
+  static const std::set<std::string> kNames = {
+      "isalnum", "isalpha", "isblank", "iscntrl", "isdigit", "isgraph",
+      "islower", "isprint", "ispunct", "isspace", "isupper", "isxdigit",
+      "tolower", "toupper",
+  };
+  // clang-format on
+  return kNames;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool PathEndsWith(const std::string& path, const char* suffix) {
+  const size_t n = std::string(suffix).size();
+  return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+}
+
+bool PathMatchesAllowlist(const std::string& path,
+                          const std::vector<std::string>& allowlist) {
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  for (const std::string& entry : allowlist) {
+    if (normalized.find(entry) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Index of the `)` matching the `(` at `open`, or kNpos. Only rounds are
+/// tracked: rules use this on argument/parameter lists.
+size_t MatchingParen(const std::vector<Token>& code, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < code.size(); ++i) {
+    if (IsPunct(code[i], "(")) ++depth;
+    if (IsPunct(code[i], ")") && --depth == 0) return i;
+  }
+  return kNpos;
+}
+
+/// Inline suppressions: `// spnet-lint: allow(rule-a, rule-b)` (line or
+/// block comment). The marker covers every line the comment spans plus the
+/// next line, so it works trailing a finding or on its own line above it.
+class SuppressionIndex {
+ public:
+  explicit SuppressionIndex(const std::vector<Token>& tokens) {
+    for (const Token& token : tokens) {
+      if (token.kind != TokenKind::kComment) continue;
+      const size_t tag = token.text.find("spnet-lint:");
+      if (tag == std::string::npos) continue;
+      const size_t open = token.text.find("allow(", tag);
+      if (open == std::string::npos) continue;
+      const size_t close = token.text.find(')', open);
+      if (close == std::string::npos) continue;
+      std::string list = token.text.substr(open + 6, close - open - 6);
+      std::string rule;
+      list.push_back(',');
+      for (const char c : list) {
+        if (c == ',' || c == ' ' || c == '\t') {
+          if (!rule.empty()) {
+            for (int line = token.line; line <= token.end_line + 1; ++line) {
+              allowed_[rule].insert(line);
+            }
+            rule.clear();
+          }
+        } else {
+          rule.push_back(c);
+        }
+      }
+    }
+  }
+
+  bool Allows(const std::string& rule, int line) const {
+    const auto it = allowed_.find(rule);
+    return it != allowed_.end() && it->second.count(line) > 0;
+  }
+
+ private:
+  std::map<std::string, std::set<int>> allowed_;
+};
+
+/// Shared state for one file's rule run: the comment-free token stream
+/// (preprocessor directives retained — they are statement boundaries),
+/// plus emission with suppression filtering.
+class RuleContext {
+ public:
+  RuleContext(const std::string& path, const std::vector<Token>& tokens,
+              const LintOptions& options)
+      : path_(path), options_(options), suppressions_(tokens) {
+    for (const Token& token : tokens) {
+      if (token.kind != TokenKind::kComment) code_.push_back(token);
+    }
+  }
+
+  const std::string& path() const { return path_; }
+  const LintOptions& options() const { return options_; }
+  const std::vector<Token>& code() const { return code_; }
+
+  void Emit(const char* rule, Severity severity, int line,
+            std::string message) {
+    if (suppressions_.Allows(rule, line)) return;
+    diagnostics_.push_back({path_, line, rule, severity, std::move(message)});
+  }
+
+  std::vector<Diagnostic> TakeDiagnostics() {
+    std::sort(diagnostics_.begin(), diagnostics_.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+              });
+    return std::move(diagnostics_);
+  }
+
+ private:
+  const std::string& path_;
+  const LintOptions& options_;
+  SuppressionIndex suppressions_;
+  std::vector<Token> code_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+// --- rule: discarded-status ------------------------------------------------
+
+bool IsStatementStart(const std::vector<Token>& code, size_t i) {
+  if (i == 0) return true;
+  const Token& prev = code[i - 1];
+  if (prev.kind == TokenKind::kPreproc) return true;
+  // `:` is deliberately not a statement start: it would match the arms of
+  // a ternary (`return ok ? Load(a) : Load(b);`), and calls directly after
+  // labels/access specifiers are declaration context anyway.
+  if (prev.kind == TokenKind::kPunct &&
+      (prev.text == ";" || prev.text == "{" || prev.text == "}")) {
+    return true;
+  }
+  return IsIdent(prev, "else") || IsIdent(prev, "do");
+}
+
+void CheckDiscardedStatus(RuleContext* ctx) {
+  const std::vector<Token>& code = ctx->code();
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    if (!IsStatementStart(code, i)) continue;
+    // Walk the call chain: ident ((:: | . | ->) ident)* `(`. A second bare
+    // identifier (as in `Status Run(...)` declarations or `return Run()`)
+    // breaks the pattern, so declarations never match.
+    size_t last = i;
+    size_t j = i + 1;
+    while (j + 1 < code.size() && code[j].kind == TokenKind::kPunct &&
+           (code[j].text == "::" || code[j].text == "." ||
+            code[j].text == "->") &&
+           code[j + 1].kind == TokenKind::kIdentifier) {
+      last = j + 1;
+      j += 2;
+    }
+    if (j >= code.size() || !IsPunct(code[j], "(")) continue;
+    if (StatusReturningNames().count(code[last].text) == 0) continue;
+    const size_t close = MatchingParen(code, j);
+    if (close == kNpos || close + 1 >= code.size()) continue;
+    if (!IsPunct(code[close + 1], ";")) continue;
+    ctx->Emit("discarded-status", Severity::kError, code[i].line,
+              "result of Status/Result-returning call '" + code[last].text +
+                  "' is discarded; assign it, return it, or wrap the call "
+                  "in SPNET_CHECK_OK if failure is impossible here");
+  }
+}
+
+// --- rule: raw-new-delete --------------------------------------------------
+
+void CheckRawNewDelete(RuleContext* ctx) {
+  if (PathMatchesAllowlist(ctx->path(),
+                           ctx->options().raw_new_delete_allowlist)) {
+    return;
+  }
+  const std::vector<Token>& code = ctx->code();
+  for (size_t i = 0; i < code.size(); ++i) {
+    const bool is_new = IsIdent(code[i], "new");
+    const bool is_delete = IsIdent(code[i], "delete");
+    if (!is_new && !is_delete) continue;
+    if (i > 0) {
+      const Token& prev = code[i - 1];
+      // `= delete` declares a deleted function; `operator new/delete`
+      // declarations customize allocation rather than performing it.
+      if (is_delete && IsPunct(prev, "=")) continue;
+      if (IsIdent(prev, "operator")) continue;
+    }
+    ctx->Emit("raw-new-delete", Severity::kError, code[i].line,
+              std::string("raw '") + (is_new ? "new" : "delete") +
+                  "' outside an allow-listed file; use std::make_unique / "
+                  "containers, or annotate an intentional leak with "
+                  "spnet-lint: allow(raw-new-delete)");
+  }
+}
+
+// --- rule: char-ctype ------------------------------------------------------
+
+void CheckCharCtype(RuleContext* ctx) {
+  const std::vector<Token>& code = ctx->code();
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    if (CtypeNames().count(code[i].text) == 0) continue;
+    if (!IsPunct(code[i + 1], "(")) continue;
+    const size_t close = MatchingParen(code, i + 1);
+    if (close == kNpos || close == i + 2) continue;  // declaration-ish: skip
+    bool has_unsigned_cast = false;
+    for (size_t j = i + 2; j < close; ++j) {
+      if (IsIdent(code[j], "unsigned")) {
+        has_unsigned_cast = true;
+        break;
+      }
+    }
+    if (has_unsigned_cast) continue;
+    ctx->Emit("char-ctype", Severity::kError, code[i].line,
+              "'" + code[i].text +
+                  "' on a plain char is UB for negative values; cast the "
+                  "argument to unsigned char first");
+  }
+}
+
+// --- rule: global-mutable-state --------------------------------------------
+
+/// Token-level scope classification. Only namespace-level accuracy
+/// matters: scopes nested inside a function are never analyzed, so their
+/// classification is irrelevant as long as braces stay balanced.
+enum class ScopeKind { kNamespace, kType, kBlock, kInit };
+
+bool RunContainsIdent(const std::vector<Token>& run, const char* text) {
+  for (const Token& t : run) {
+    if (IsIdent(t, text)) return true;
+  }
+  return false;
+}
+
+bool RunDeclaresGuardedOrImmutableState(const std::vector<Token>& run) {
+  static const std::set<std::string> kExemptingIdents = {
+      // Immutable / write-once.
+      "const", "constexpr", "constinit",
+      // Per-thread state is not shared.
+      "thread_local",
+      // Synchronized holders: the guard is the declaration itself.
+      "atomic", "atomic_flag", "Mutex", "mutex", "shared_mutex",
+      "once_flag", "CondVar", "condition_variable",
+      // Clang thread-safety annotation: the variable names its lock.
+      "GUARDED_BY", "PT_GUARDED_BY",
+  };
+  for (const Token& t : run) {
+    if (t.kind == TokenKind::kIdentifier && kExemptingIdents.count(t.text)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AnalyzeNamespaceScopeRun(RuleContext* ctx,
+                              const std::vector<Token>& run) {
+  if (run.empty()) return;
+  // Not variable declarations: type/alias/template machinery.
+  static const std::set<std::string> kNonVariableIdents = {
+      "using", "typedef", "template", "static_assert", "friend",
+      "namespace", "operator", "extern",
+  };
+  for (const Token& t : run) {
+    if (t.kind == TokenKind::kIdentifier && kNonVariableIdents.count(t.text)) {
+      return;
+    }
+  }
+  const Token& first = run.front();
+  if (IsIdent(first, "class") || IsIdent(first, "struct") ||
+      IsIdent(first, "enum") || IsIdent(first, "union")) {
+    return;  // forward declaration
+  }
+  if (RunDeclaresGuardedOrImmutableState(run)) return;
+  // A `(` before any `=` means a function declaration (parameter list) or
+  // a direct-init call — treat both as non-findings; direct-init of a
+  // mutable global still trips on the missing const/guard exemptions
+  // above only via `=`/brace forms, which covers this codebase's idiom.
+  for (const Token& t : run) {
+    if (IsPunct(t, "=")) break;
+    if (IsPunct(t, "(")) return;
+  }
+  if (run.size() < 2) return;  // `;` noise, not a declaration
+  ctx->Emit("global-mutable-state", Severity::kError, first.line,
+            "mutable namespace-scope state; make it const/constexpr, guard "
+            "it with a Mutex (and GUARDED_BY), use std::atomic, or move it "
+            "into a function-local static");
+}
+
+void CheckGlobalMutableState(RuleContext* ctx) {
+  const std::vector<Token>& code = ctx->code();
+  std::vector<ScopeKind> scopes;
+  std::vector<Token> run;
+  const auto at_namespace_scope = [&scopes] {
+    for (const ScopeKind kind : scopes) {
+      if (kind != ScopeKind::kNamespace) return false;
+    }
+    return true;
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Token& token = code[i];
+    if (token.kind == TokenKind::kPreproc) {
+      if (at_namespace_scope()) run.clear();
+      continue;
+    }
+    if (IsPunct(token, "{")) {
+      ScopeKind kind = ScopeKind::kBlock;
+      const bool ns = at_namespace_scope();
+      if (ns) {
+        const Token* prev = run.empty() ? nullptr : &run.back();
+        if (RunContainsIdent(run, "namespace") ||
+            (prev != nullptr && prev->kind == TokenKind::kString &&
+             RunContainsIdent(run, "extern"))) {
+          kind = ScopeKind::kNamespace;  // incl. extern "C" linkage blocks
+        } else if (RunContainsIdent(run, "class") ||
+                   RunContainsIdent(run, "struct") ||
+                   RunContainsIdent(run, "union") ||
+                   RunContainsIdent(run, "enum")) {
+          kind = ScopeKind::kType;
+        } else if (prev != nullptr && IsPunct(*prev, ")")) {
+          kind = ScopeKind::kBlock;  // function body
+        } else if (prev != nullptr &&
+                   (IsPunct(*prev, "=") || IsPunct(*prev, ",") ||
+                    prev->kind == TokenKind::kIdentifier)) {
+          kind = ScopeKind::kInit;  // `= {...}` or `name{...}` initializer
+        }
+        if (kind != ScopeKind::kInit) run.clear();
+      }
+      scopes.push_back(kind);
+      continue;
+    }
+    if (IsPunct(token, "}")) {
+      const ScopeKind kind =
+          scopes.empty() ? ScopeKind::kBlock : scopes.back();
+      if (!scopes.empty()) scopes.pop_back();
+      if (at_namespace_scope() && kind != ScopeKind::kInit) run.clear();
+      continue;
+    }
+    if (!at_namespace_scope()) continue;
+    if (IsPunct(token, ";")) {
+      AnalyzeNamespaceScopeRun(ctx, run);
+      run.clear();
+      continue;
+    }
+    run.push_back(token);
+  }
+}
+
+// --- rule: relaxed-atomic --------------------------------------------------
+
+void CheckRelaxedAtomic(RuleContext* ctx) {
+  if (PathMatchesAllowlist(ctx->path(),
+                           ctx->options().relaxed_atomic_allowlist)) {
+    return;
+  }
+  for (const Token& token : ctx->code()) {
+    if (IsIdent(token, "memory_order_relaxed")) {
+      ctx->Emit("relaxed-atomic", Severity::kWarning, token.line,
+                "std::memory_order_relaxed outside the audited fast paths; "
+                "default to sequential consistency or add this file to the "
+                "allowlist after review");
+    }
+  }
+}
+
+// --- rule: exec-context-threading ------------------------------------------
+
+void CheckExecContextThreading(RuleContext* ctx) {
+  const std::vector<Token>& code = ctx->code();
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    if (!IsIdent(code[i], "PlanImpl") && !IsIdent(code[i], "ComputeImpl")) {
+      continue;
+    }
+    if (!IsPunct(code[i + 1], "(")) continue;
+    const size_t close = MatchingParen(code, i + 1);
+    if (close == kNpos || close + 1 >= code.size()) continue;
+    // Declarations and definitions carry a trailing const/override/final
+    // or open a body; call sites (the NVI wrappers) are followed by `;`,
+    // `)` or an operator and are not this rule's business.
+    const Token& after = code[close + 1];
+    const bool is_declaration = IsIdent(after, "const") ||
+                                IsIdent(after, "override") ||
+                                IsIdent(after, "final") ||
+                                IsPunct(after, "{");
+    if (!is_declaration) continue;
+    bool has_ctx = false;
+    for (size_t j = i + 2; j < close; ++j) {
+      if (IsIdent(code[j], "ExecContext")) {
+        has_ctx = true;
+        break;
+      }
+    }
+    if (has_ctx) continue;
+    ctx->Emit("exec-context-threading", Severity::kError, code[i].line,
+              "'" + code[i].text +
+                  "' override does not thread ExecContext*; every "
+                  "plan/compute hook must accept the context so tracing and "
+                  "metrics flow through the whole pipeline");
+  }
+}
+
+// --- rule: include-iostream ------------------------------------------------
+
+void CheckIncludeIostream(RuleContext* ctx, const std::vector<Token>& tokens) {
+  if (!PathEndsWith(ctx->path(), ".h") && !PathEndsWith(ctx->path(), ".hpp")) {
+    return;
+  }
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kPreproc) continue;
+    std::string squeezed;
+    for (const char c : token.text) {
+      if (c != ' ' && c != '\t') squeezed.push_back(c);
+    }
+    if (squeezed.rfind("#include<iostream>", 0) == 0 ||
+        squeezed.rfind("#include\"iostream\"", 0) == 0) {
+      ctx->Emit("include-iostream", Severity::kError, token.line,
+                "<iostream> in a header drags static iostream initializers "
+                "into every TU; include it in the .cc or use <ostream> / "
+                "<cstdio>");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"discarded-status", Severity::kError,
+       "Status/Result return values must be consumed"},
+      {"raw-new-delete", Severity::kError,
+       "no raw new/delete outside allow-listed files"},
+      {"char-ctype", Severity::kError,
+       "<cctype> classifiers require an unsigned char cast"},
+      {"global-mutable-state", Severity::kError,
+       "namespace-scope state must be immutable, atomic or mutex-guarded"},
+      {"relaxed-atomic", Severity::kWarning,
+       "memory_order_relaxed only in audited fast-path files"},
+      {"exec-context-threading", Severity::kError,
+       "PlanImpl/ComputeImpl overrides must accept ExecContext*"},
+      {"include-iostream", Severity::kError,
+       "headers must not include <iostream>"},
+  };
+  return kRules;
+}
+
+LintOptions::LintOptions()
+    : relaxed_atomic_allowlist({
+          "src/common/parallel",
+          "src/engine/plan_cache",
+          "src/metrics/registry",
+          "src/verify/fault_injection",
+      }) {}
+
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& content,
+                                   const LintOptions& options) {
+  const std::vector<Token> tokens = Tokenize(content);
+  RuleContext ctx(path, tokens, options);
+  CheckDiscardedStatus(&ctx);
+  CheckRawNewDelete(&ctx);
+  CheckCharCtype(&ctx);
+  CheckGlobalMutableState(&ctx);
+  CheckRelaxedAtomic(&ctx);
+  CheckExecContextThreading(&ctx);
+  CheckIncludeIostream(&ctx, tokens);
+  return ctx.TakeDiagnostics();
+}
+
+}  // namespace lint
+}  // namespace spnet

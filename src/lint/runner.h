@@ -1,0 +1,39 @@
+#ifndef SPNET_LINT_RUNNER_H_
+#define SPNET_LINT_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lint/lint.h"
+
+namespace spnet {
+namespace lint {
+
+/// Aggregate result of linting a set of paths.
+struct RunSummary {
+  int files_linted = 0;
+  int errors = 0;
+  int warnings = 0;
+  /// Every finding, ordered by file path then line.
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// True for files the walker lints: C++ sources and headers by extension
+/// (.h/.hpp/.cc/.cpp/.cxx and the CUDA spellings .cu/.cuh).
+bool IsLintableFile(const std::string& path);
+
+/// Lints each path: files directly, directories recursively. Skipped
+/// during the walk: hidden directories, anything named `build*` or
+/// `third_party`, and `lint_fixtures` (the test corpus violates rules on
+/// purpose). NotFound if a path does not exist.
+[[nodiscard]] Result<RunSummary> LintPaths(
+    const std::vector<std::string>& paths, const LintOptions& options);
+
+/// gcc-style one-liner: `path:line: error: message [rule]`.
+std::string FormatDiagnostic(const Diagnostic& diagnostic);
+
+}  // namespace lint
+}  // namespace spnet
+
+#endif  // SPNET_LINT_RUNNER_H_

@@ -14,7 +14,7 @@ int BucketIndex(int64_t value) {
   if (value <= 0) return 0;
   // bit_width(1) == 1, bit_width(2..3) == 2, ... so bucket i covers
   // [2^(i-1), 2^i - 1].
-  return std::bit_width(static_cast<uint64_t>(value));
+  return static_cast<int>(std::bit_width(static_cast<uint64_t>(value)));
 }
 
 }  // namespace
@@ -79,19 +79,19 @@ Registry::Entry* Registry::FindOrCreate(const std::string& name, Kind kind) {
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry* entry = FindOrCreate(name, Kind::kCounter);
   return entry == nullptr ? nullptr : entry->counter.get();
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry* entry = FindOrCreate(name, Kind::kGauge);
   return entry == nullptr ? nullptr : entry->gauge.get();
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry* entry = FindOrCreate(name, Kind::kHistogram);
   return entry == nullptr ? nullptr : entry->histogram.get();
 }
@@ -109,7 +109,7 @@ void Registry::ObserveHistogram(const std::string& name, int64_t value) {
 }
 
 std::map<std::string, double> Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, double> out;
   for (const auto& [name, entry] : entries_) {
     switch (entry.kind) {
@@ -129,7 +129,7 @@ std::map<std::string, double> Registry::Snapshot() const {
 }
 
 void Registry::AppendJson(JsonWriter* w) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   w->BeginObject();
   w->Key("counters").BeginObject();
   for (const auto& [name, entry] : entries_) {

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace spnet {
 namespace metrics {
@@ -113,10 +115,10 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* FindOrCreate(const std::string& name, Kind kind);
+  Entry* FindOrCreate(const std::string& name, Kind kind) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace metrics

@@ -83,7 +83,7 @@ CsrMatrix CsrMatrix::Transpose() const {
   std::vector<std::vector<Offset>> chunk_counts(
       static_cast<size_t>(num_chunks));
 
-  pool.ParallelFor(0, rows_, grain,
+  SPNET_CHECK_OK(pool.ParallelFor(0, rows_, grain,
                    [&](int64_t row_begin, int64_t row_end, int) {
                      std::vector<Offset>& counts =
                          chunk_counts[static_cast<size_t>(row_begin / grain)];
@@ -96,7 +96,7 @@ CsrMatrix CsrMatrix::Transpose() const {
                        }
                      }
                      return Status::Ok();
-                   });
+                   }));
 
   // Scan: column totals into pointers, then per-chunk starting cursors
   // (chunk k writes column c at ptr[c] + sum of earlier chunks' counts).
@@ -114,7 +114,7 @@ CsrMatrix CsrMatrix::Transpose() const {
   t.ptr_[static_cast<size_t>(cols_)] = running;
 
   // Scatter, same chunking as the count pass.
-  pool.ParallelFor(0, rows_, grain,
+  SPNET_CHECK_OK(pool.ParallelFor(0, rows_, grain,
                    [&](int64_t row_begin, int64_t row_end, int) {
                      std::vector<Offset>& cursor =
                          chunk_cursor[static_cast<size_t>(row_begin / grain)];
@@ -130,7 +130,7 @@ CsrMatrix CsrMatrix::Transpose() const {
                        }
                      }
                      return Status::Ok();
-                   });
+                   }));
   return t;
 }
 

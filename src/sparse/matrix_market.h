@@ -14,14 +14,14 @@ namespace sparse {
 /// Supports `matrix coordinate {real,integer,pattern} {general,symmetric}`.
 /// Pattern entries get value 1.0; symmetric files are expanded to both
 /// triangles. Indices in the file are 1-based per the MM specification.
-Result<CsrMatrix> ReadMatrixMarket(const std::string& path);
+[[nodiscard]] Result<CsrMatrix> ReadMatrixMarket(const std::string& path);
 
 /// Parses Matrix Market content from a string (same rules as the file
 /// reader); used by tests and by in-memory dataset pipelines.
-Result<CsrMatrix> ParseMatrixMarket(const std::string& content);
+[[nodiscard]] Result<CsrMatrix> ParseMatrixMarket(const std::string& content);
 
 /// Writes `m` as `matrix coordinate real general` with 1-based indices.
-Status WriteMatrixMarket(const CsrMatrix& m, const std::string& path);
+[[nodiscard]] Status WriteMatrixMarket(const CsrMatrix& m, const std::string& path);
 
 }  // namespace sparse
 }  // namespace spnet

@@ -77,7 +77,7 @@ Result<CsrMatrix> ReferenceSpGemm(const CsrMatrix& a, const CsrMatrix& b) {
   RowScratchArena arena(pool.threads(), cols);
 
   // Pass 1: per-row output nnz (symbolic).
-  pool.ParallelFor(0, rows, grain,
+  SPNET_CHECK_OK(pool.ParallelFor(0, rows, grain,
                    [&](int64_t row_begin, int64_t row_end, int thread_index) {
                      RowScratch& s = arena.at(thread_index);
                      for (int64_t r = row_begin; r < row_end; ++r) {
@@ -97,7 +97,7 @@ Result<CsrMatrix> ReferenceSpGemm(const CsrMatrix& a, const CsrMatrix& b) {
                        s.ResetTouched();
                      }
                      return Status::Ok();
-                   });
+                   }));
 
   // Exclusive scan of the row sizes into row pointers.
   for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
@@ -108,7 +108,7 @@ Result<CsrMatrix> ReferenceSpGemm(const CsrMatrix& a, const CsrMatrix& b) {
   // Pass 2: numeric fill into the pre-sized output slices.
   std::vector<Index> out_idx(static_cast<size_t>(total));
   std::vector<Value> out_val(static_cast<size_t>(total));
-  pool.ParallelFor(
+  SPNET_CHECK_OK(pool.ParallelFor(
       0, rows, grain,
       [&](int64_t row_begin, int64_t row_end, int thread_index) {
         RowScratch& s = arena.at(thread_index);
@@ -125,7 +125,7 @@ Result<CsrMatrix> ReferenceSpGemm(const CsrMatrix& a, const CsrMatrix& b) {
           s.ResetTouched();
         }
         return Status::Ok();
-      });
+      }));
 
   return CsrMatrix::FromParts(rows, cols, std::move(ptr), std::move(out_idx),
                               std::move(out_val));

@@ -22,11 +22,11 @@ namespace sparse {
 ///   ptr     (rows + 1) x i64
 ///   indices nnz x i32
 ///   values  nnz x f64
-Status WriteBinary(const CsrMatrix& m, const std::string& path);
+[[nodiscard]] Status WriteBinary(const CsrMatrix& m, const std::string& path);
 
 /// Reads a matrix written by WriteBinary. Rejects bad magic/version,
 /// truncated files, and structurally invalid contents.
-Result<CsrMatrix> ReadBinary(const std::string& path);
+[[nodiscard]] Result<CsrMatrix> ReadBinary(const std::string& path);
 
 }  // namespace sparse
 }  // namespace spnet

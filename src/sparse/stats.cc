@@ -64,7 +64,7 @@ int64_t SpGemmFlops(const CsrMatrix& a, const CsrMatrix& b) {
 std::vector<int64_t> SpGemmRowFlops(const CsrMatrix& a, const CsrMatrix& b) {
   std::vector<int64_t> flops(static_cast<size_t>(a.rows()), 0);
   // Each row's count is independent, so the rows parallelize trivially.
-  ParallelFor(0, a.rows(), GrainForItems(a.rows(), GlobalThreadCount()),
+  SPNET_CHECK_OK(ParallelFor(0, a.rows(), GrainForItems(a.rows(), GlobalThreadCount()),
               [&](int64_t row_begin, int64_t row_end, int) {
                 for (int64_t r = row_begin; r < row_end; ++r) {
                   const SpanView row = a.Row(static_cast<Index>(r));
@@ -75,7 +75,7 @@ std::vector<int64_t> SpGemmRowFlops(const CsrMatrix& a, const CsrMatrix& b) {
                   flops[static_cast<size_t>(r)] = f;
                 }
                 return Status::Ok();
-              });
+              }));
   return flops;
 }
 

@@ -4,6 +4,7 @@ namespace spnet {
 namespace spgemm {
 
 Status AlgorithmRegistry::Register(const std::string& name, Factory factory) {
+  MutexLock lock(&mu_);
   if (factories_.count(name) != 0 || aliases_.count(name) != 0) {
     return Status::AlreadyExists("algorithm already registered: " + name);
   }
@@ -13,6 +14,7 @@ Status AlgorithmRegistry::Register(const std::string& name, Factory factory) {
 
 Status AlgorithmRegistry::RegisterAlias(const std::string& alias,
                                         const std::string& target) {
+  MutexLock lock(&mu_);
   if (factories_.count(alias) != 0 || aliases_.count(alias) != 0) {
     return Status::AlreadyExists("algorithm already registered: " + alias);
   }
@@ -24,41 +26,60 @@ Status AlgorithmRegistry::RegisterAlias(const std::string& alias,
 }
 
 bool AlgorithmRegistry::Contains(const std::string& name) const {
+  MutexLock lock(&mu_);
   return factories_.count(name) != 0 || aliases_.count(name) != 0;
 }
 
 Result<std::unique_ptr<SpGemmAlgorithm>> AlgorithmRegistry::Create(
     const std::string& name) const {
-  auto alias_it = aliases_.find(name);
-  const std::string& canonical =
-      alias_it == aliases_.end() ? name : alias_it->second;
-  auto it = factories_.find(canonical);
-  if (it == factories_.end()) {
-    return Status::NotFound("unknown algorithm: " + name +
-                            " (known: " + NamesLine() + ")");
+  // The factory is copied out and invoked after the lock is dropped, so a
+  // factory that itself consults the registry cannot deadlock.
+  Factory factory;
+  {
+    MutexLock lock(&mu_);
+    auto alias_it = aliases_.find(name);
+    const std::string& canonical =
+        alias_it == aliases_.end() ? name : alias_it->second;
+    auto it = factories_.find(canonical);
+    if (it == factories_.end()) {
+      return Status::NotFound("unknown algorithm: " + name +
+                              " (known: " + NamesLineLocked() + ")");
+    }
+    factory = it->second;
   }
-  return it->second();
+  return factory();
 }
 
-std::vector<std::string> AlgorithmRegistry::Names() const {
+std::vector<std::string> AlgorithmRegistry::NamesLocked() const {
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) names.push_back(name);
   return names;  // std::map iteration order: already sorted
 }
 
-std::string AlgorithmRegistry::NamesLine() const {
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  MutexLock lock(&mu_);
+  return NamesLocked();
+}
+
+std::string AlgorithmRegistry::NamesLineLocked() const {
   std::string line;
-  for (const std::string& name : Names()) {
+  for (const std::string& name : NamesLocked()) {
     if (!line.empty()) line += ", ";
     line += name;
   }
   return line;
 }
 
+std::string AlgorithmRegistry::NamesLine() const {
+  MutexLock lock(&mu_);
+  return NamesLineLocked();
+}
+
 AlgorithmRegistry& AlgorithmRegistry::Global() {
   static AlgorithmRegistry* registry = [] {
-    auto* r = new AlgorithmRegistry();
+    // Leaked on purpose: the registry must outlive static destructors.
+    auto* r = new AlgorithmRegistry();  // spnet-lint: allow(raw-new-delete)
     auto add = [r](const std::string& name,
                    std::unique_ptr<SpGemmAlgorithm> (*make)()) {
       const Status s =

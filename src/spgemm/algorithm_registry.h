@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "spgemm/algorithm.h"
 
 namespace spnet {
@@ -20,8 +22,15 @@ namespace spgemm {
 ///
 /// Canonical names are the CLI spellings ("row-product", "cusparse",
 /// "reorganizer", ...); aliases ("row", "outer") resolve to a canonical
-/// entry but do not appear in Names(). The registry is not thread-safe
-/// for registration — register everything at startup, query freely after.
+/// entry but do not appear in Names().
+///
+/// Fully thread-safe: registration and queries share one mutex. This
+/// matters because registration is NOT confined to startup — every
+/// BatchRunner constructor and the verify sweep call
+/// core::RegisterCoreAlgorithms(), so a runner constructed on one thread
+/// can race a query on another. (The maps used to be unsynchronized,
+/// which was a data race exactly on that window; the thread-safety
+/// annotation pass surfaced it.)
 class AlgorithmRegistry {
  public:
   using Factory = std::function<Result<std::unique_ptr<SpGemmAlgorithm>>()>;
@@ -52,8 +61,13 @@ class AlgorithmRegistry {
   static AlgorithmRegistry& Global();
 
  private:
-  std::map<std::string, Factory> factories_;
-  std::map<std::string, std::string> aliases_;
+  /// Names() without the lock, for composition inside locked regions.
+  std::vector<std::string> NamesLocked() const REQUIRES(mu_);
+  std::string NamesLineLocked() const REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Factory> factories_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> aliases_ GUARDED_BY(mu_);
 };
 
 }  // namespace spgemm

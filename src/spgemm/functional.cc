@@ -161,7 +161,7 @@ Result<CsrMatrix> RowProductExpandMerge(const CsrMatrix& a,
   const int64_t grain = GrainForItems(rows, pool.threads());
   RowScratchArena arena(pool.threads(), cols);
 
-  pool.ParallelFor(0, rows, grain,
+  SPNET_CHECK_OK(pool.ParallelFor(0, rows, grain,
                    [&](int64_t row_begin, int64_t row_end, int thread_index) {
                      RowScratch& s = arena.at(thread_index);
                      for (int64_t r = row_begin; r < row_end; ++r) {
@@ -169,7 +169,7 @@ Result<CsrMatrix> RowProductExpandMerge(const CsrMatrix& a,
                            SymbolicRowNnz(a, b, static_cast<Index>(r), &s);
                      }
                      return Status::Ok();
-                   });
+                   }));
   for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
     ptr[r + 1] += ptr[r];
   }
@@ -181,7 +181,7 @@ Result<CsrMatrix> RowProductExpandMerge(const CsrMatrix& a,
       static_cast<size_t>(pool.threads()));
   std::vector<std::vector<Value>> exp_vals(
       static_cast<size_t>(pool.threads()));
-  pool.ParallelFor(
+  SPNET_CHECK_OK(pool.ParallelFor(
       0, rows, grain,
       [&](int64_t row_begin, int64_t row_end, int thread_index) {
         RowScratch& s = arena.at(thread_index);
@@ -196,7 +196,7 @@ Result<CsrMatrix> RowProductExpandMerge(const CsrMatrix& a,
                          out_idx.data() + base, out_val.data() + base);
         }
         return Status::Ok();
-      });
+      }));
 
   return CsrMatrix::FromParts(rows, cols, std::move(ptr), std::move(out_idx),
                               std::move(out_val));
@@ -275,7 +275,7 @@ Result<CsrMatrix> OuterProductExpandMerge(const CsrMatrix& a,
   // ExpandRow produces (A's rows are column-sorted), so the relocated
   // intermediate is bit-identical to the serial scatter.
   const int64_t grain = GrainForItems(rows, pool.threads());
-  pool.ParallelFor(
+  SPNET_CHECK_OK(pool.ParallelFor(
       0, rows, grain, [&](int64_t row_begin, int64_t row_end, int) {
         for (int64_t r = row_begin; r < row_end; ++r) {
           Offset cur = chat_ptr[static_cast<size_t>(r)];
@@ -291,12 +291,12 @@ Result<CsrMatrix> OuterProductExpandMerge(const CsrMatrix& a,
           }
         }
         return Status::Ok();
-      });
+      }));
 
   // Parallel merge: two-pass (size, scan, fill) over the C-hat regions.
   RowScratchArena arena(pool.threads(), cols);
   std::vector<Offset> ptr(static_cast<size_t>(rows) + 1, 0);
-  pool.ParallelFor(0, rows, grain,
+  SPNET_CHECK_OK(pool.ParallelFor(0, rows, grain,
                    [&](int64_t row_begin, int64_t row_end, int thread_index) {
                      RowScratch& s = arena.at(thread_index);
                      for (int64_t r = row_begin; r < row_end; ++r) {
@@ -307,7 +307,7 @@ Result<CsrMatrix> OuterProductExpandMerge(const CsrMatrix& a,
                            CountDistinct(chat_cols.data() + begin, count, &s);
                      }
                      return Status::Ok();
-                   });
+                   }));
   for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
     ptr[r + 1] += ptr[r];
   }
@@ -315,7 +315,7 @@ Result<CsrMatrix> OuterProductExpandMerge(const CsrMatrix& a,
 
   std::vector<Index> out_idx(static_cast<size_t>(out_total));
   std::vector<Value> out_val(static_cast<size_t>(out_total));
-  pool.ParallelFor(
+  SPNET_CHECK_OK(pool.ParallelFor(
       0, rows, grain,
       [&](int64_t row_begin, int64_t row_end, int thread_index) {
         RowScratch& s = arena.at(thread_index);
@@ -328,7 +328,7 @@ Result<CsrMatrix> OuterProductExpandMerge(const CsrMatrix& a,
                          out_val.data() + base);
         }
         return Status::Ok();
-      });
+      }));
 
   return CsrMatrix::FromParts(rows, cols, std::move(ptr), std::move(out_idx),
                               std::move(out_val));

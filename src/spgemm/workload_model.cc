@@ -34,7 +34,7 @@ Workload BuildWorkload(const CsrMatrix& a, const CsrMatrix& b) {
     const int64_t hist_grain = GrainForChunkPerThread(nnz, threads);
     const int64_t num_chunks = CeilDiv(nnz, hist_grain);
     std::vector<std::vector<int64_t>> hist(static_cast<size_t>(num_chunks));
-    pool.ParallelFor(0, nnz, hist_grain,
+    SPNET_CHECK_OK(pool.ParallelFor(0, nnz, hist_grain,
                      [&](int64_t begin, int64_t end, int) {
                        std::vector<int64_t>& h =
                            hist[static_cast<size_t>(begin / hist_grain)];
@@ -44,8 +44,8 @@ Workload BuildWorkload(const CsrMatrix& a, const CsrMatrix& b) {
                              a.indices()[static_cast<size_t>(k)])]++;
                        }
                        return Status::Ok();
-                     });
-    pool.ParallelFor(0, a.cols(), GrainForItems(a.cols(), threads),
+                     }));
+    SPNET_CHECK_OK(pool.ParallelFor(0, a.cols(), GrainForItems(a.cols(), threads),
                      [&](int64_t begin, int64_t end, int) {
                        for (int64_t c = begin; c < end; ++c) {
                          int64_t sum = 0;
@@ -55,18 +55,18 @@ Workload BuildWorkload(const CsrMatrix& a, const CsrMatrix& b) {
                          w.a_col_nnz[static_cast<size_t>(c)] = sum;
                        }
                        return Status::Ok();
-                     });
+                     }));
   }
 
   w.b_row_nnz.assign(static_cast<size_t>(b.rows()), 0);
-  pool.ParallelFor(0, b.rows(), GrainForItems(b.rows(), threads),
+  SPNET_CHECK_OK(pool.ParallelFor(0, b.rows(), GrainForItems(b.rows(), threads),
                    [&](int64_t begin, int64_t end, int) {
                      for (int64_t r = begin; r < end; ++r) {
                        w.b_row_nnz[static_cast<size_t>(r)] =
                            b.RowNnz(static_cast<Index>(r));
                      }
                      return Status::Ok();
-                   });
+                   }));
 
   w.pair_work.assign(static_cast<size_t>(a.cols()), 0);
   w.flops = pool.ParallelReduce(
@@ -86,7 +86,7 @@ Workload BuildWorkload(const CsrMatrix& a, const CsrMatrix& b) {
 
   // Row-wise precalculation: nnz(C-hat) per output row.
   w.row_chat.assign(static_cast<size_t>(a.rows()), 0);
-  pool.ParallelFor(0, a.rows(), GrainForItems(a.rows(), threads),
+  SPNET_CHECK_OK(pool.ParallelFor(0, a.rows(), GrainForItems(a.rows(), threads),
                    [&](int64_t begin, int64_t end, int) {
                      for (int64_t r = begin; r < end; ++r) {
                        const SpanView row = a.Row(static_cast<Index>(r));
@@ -100,7 +100,7 @@ Workload BuildWorkload(const CsrMatrix& a, const CsrMatrix& b) {
                        w.row_chat[static_cast<size_t>(r)] = f;
                      }
                      return Status::Ok();
-                   });
+                   }));
 
   // Hashing estimator of the merged row sizes. Each row's estimate is
   // independent; only the int64 total crosses rows.

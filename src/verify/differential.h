@@ -47,7 +47,7 @@ const std::vector<std::string>& SweepFamilyNames();
 
 /// Builds one deterministic case of `family`; the same (family, seed)
 /// always reproduces the same matrices.
-Result<SweepCase> MakeSweepCase(const std::string& family, uint64_t seed);
+[[nodiscard]] Result<SweepCase> MakeSweepCase(const std::string& family, uint64_t seed);
 
 struct DifferentialOptions {
   /// Algorithms to test; empty = every canonical name in the registry
@@ -88,7 +88,7 @@ struct DifferentialReport {
 /// the seeded sweep. Infrastructure errors (unknown family or algorithm
 /// name, generator failure, reference failure) surface as the outer
 /// Status; algorithm misbehavior lands in the report.
-Result<DifferentialReport> RunDifferentialSweep(
+[[nodiscard]] Result<DifferentialReport> RunDifferentialSweep(
     const DifferentialOptions& options);
 
 }  // namespace verify

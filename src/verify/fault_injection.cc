@@ -63,13 +63,15 @@ FaultInjector::FaultInjector() {
 }
 
 FaultInjector& FaultInjector::Global() {
-  static FaultInjector* injector = new FaultInjector();
+  // Leaked on purpose: check points may run during static destruction.
+  static FaultInjector* injector =
+      new FaultInjector();  // spnet-lint: allow(raw-new-delete)
   return *injector;
 }
 
 void FaultInjector::Arm(const std::string& site, int64_t first, int64_t count,
                         StatusCode code) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Site& s = sites_[site];
   s.calls = 0;
   s.first = first;
@@ -112,19 +114,19 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sites_.clear();
   armed_.store(false, std::memory_order_relaxed);
 }
 
 int64_t FaultInjector::CallCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.calls;
 }
 
 Status FaultInjector::Check(const char* site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // armed_ may have been cleared between the caller's fast-path load and
   // the lock; sites_ is authoritative.
   auto it = sites_.find(site);

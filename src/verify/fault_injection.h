@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace spnet {
 namespace verify {
@@ -61,7 +62,7 @@ class FaultInjector {
 
   /// Parses the `site=first[:count[:code]]` spec grammar (see class
   /// comment) and arms every entry. InvalidArgument on malformed specs.
-  Status ArmFromSpec(const std::string& spec);
+  [[nodiscard]] Status ArmFromSpec(const std::string& spec);
 
   /// Disarms every site and zeroes all call counts.
   void Reset();
@@ -75,7 +76,7 @@ class FaultInjector {
 
   /// The check point: OK unless `site` is armed and this call falls in
   /// its failure window.
-  Status Check(const char* site);
+  [[nodiscard]] Status Check(const char* site);
 
  private:
   struct Site {
@@ -87,14 +88,16 @@ class FaultInjector {
 
   FaultInjector();
 
+  /// Fast-path flag mirroring "sites_ has at least one armed entry";
+  /// relaxed loads are fine because Check() re-validates under mu_.
   std::atomic<bool> armed_{false};
-  mutable std::mutex mu_;
-  std::map<std::string, Site> sites_;
+  mutable Mutex mu_;
+  std::map<std::string, Site> sites_ GUARDED_BY(mu_);
 };
 
 /// The instrumentation entry point used by production code. Disarmed cost:
 /// one relaxed atomic load.
-inline Status MaybeInjectFault(const char* site) {
+[[nodiscard]] inline Status MaybeInjectFault(const char* site) {
   FaultInjector& injector = FaultInjector::Global();
   if (!injector.armed()) return Status::Ok();
   return injector.Check(site);

@@ -26,7 +26,7 @@ namespace verify {
 /// / normals, bin membership matches the documented rules, both
 /// thresholds are >= 1, and limited_rows is exactly the set of output
 /// rows whose C-hat population exceeds the limiting threshold.
-Status CheckClassification(const spgemm::Workload& workload,
+[[nodiscard]] Status CheckClassification(const spgemm::Workload& workload,
                            const core::Classification& classes);
 
 /// The split plan covers every dominator exactly once; each vector's
@@ -35,7 +35,7 @@ Status CheckClassification(const spgemm::Workload& workload,
 /// original pair's product count exactly (sum of fragment_len * row_nnz
 /// == pair_work). The mapper array has total_fragments entries in
 /// dispatch order.
-Status CheckSplitPlan(const spgemm::Workload& workload,
+[[nodiscard]] Status CheckSplitPlan(const spgemm::Workload& workload,
                       const std::vector<sparse::Index>& dominators,
                       const core::SplitPlan& split);
 
@@ -44,7 +44,7 @@ Status CheckSplitPlan(const spgemm::Workload& workload,
 /// quota (micro_threads == NextPow2(effective threads) <= 32), respects
 /// the block capacity, and launches a whole number of warps (the lane
 /// count rounds to a multiple of 32).
-Status CheckGatherPlan(const spgemm::Workload& workload,
+[[nodiscard]] Status CheckGatherPlan(const spgemm::Workload& workload,
                        const std::vector<sparse::Index>& low_performers,
                        const core::GatherPlan& gather, int block_size);
 
@@ -52,7 +52,7 @@ Status CheckGatherPlan(const spgemm::Workload& workload,
 /// and limited rows exist, the options carry the classifier's threshold
 /// and the configured extra shared memory; otherwise limiting is off
 /// (threshold <= 0).
-Status CheckLimitedMergeOptions(const core::Classification& classes,
+[[nodiscard]] Status CheckLimitedMergeOptions(const core::Classification& classes,
                                 const core::ReorganizerConfig& config,
                                 const spgemm::MergeOptions& options);
 
@@ -60,14 +60,14 @@ Status CheckLimitedMergeOptions(const core::Classification& classes,
 /// launches whole warps with consistent per-block accounting
 /// (effective <= launched threads, crit <= warp issue ops, non-negative
 /// traffic).
-Status CheckPlanStructure(const spgemm::SpGemmPlan& plan,
+[[nodiscard]] Status CheckPlanStructure(const spgemm::SpGemmPlan& plan,
                           int64_t expected_flops);
 
 /// Runs the full invariant suite for one configuration on one A*B:
 /// classification, split/gather/limiting plans (as enabled), the built
 /// SpGemmPlan, and finally Compute whose CSR output must Validate() and
 /// match the reference oracle.
-Status VerifyReorganizerInvariants(const sparse::CsrMatrix& a,
+[[nodiscard]] Status VerifyReorganizerInvariants(const sparse::CsrMatrix& a,
                                    const sparse::CsrMatrix& b,
                                    const core::ReorganizerConfig& config);
 

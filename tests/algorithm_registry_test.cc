@@ -2,8 +2,10 @@
 // duplicate and unknown names, the core registrations layered on top, and
 // the ReorganizerConfig validation that gates algorithm construction.
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/block_reorganizer.h"
@@ -74,6 +76,50 @@ TEST(AlgorithmRegistryTest, NamesAreSortedAndComplete) {
   // RegisterCoreAlgorithms is idempotent: calling it again must not die
   // on duplicate names.
   core::RegisterCoreAlgorithms();
+}
+
+// Regression test for a data race the thread-safety annotation pass
+// surfaced: registration is not confined to startup (every BatchRunner
+// constructor calls core::RegisterCoreAlgorithms()), yet the registry maps
+// used to be unsynchronized, so a first-time registration racing a
+// concurrent Create()/Names() was a read/write race. The registry now
+// locks internally; this hammers registration and queries from many
+// threads at once (run under TSan in CI).
+TEST(AlgorithmRegistryTest, ConcurrentRegistrationAndQueriesAreSafe) {
+  auto& registry = spgemm::AlgorithmRegistry::Global();
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 50;
+  std::atomic<int> created{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &created, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        if (t % 2 == 0) {
+          // Writer threads: register fresh names (the "zz-" prefix keeps
+          // them after the real algorithms in sorted Names() output) and
+          // re-run the idempotent core registration.
+          const Status s = registry.Register(
+              "zz-race-" + std::to_string(t) + "-" + std::to_string(i), [] {
+                return Result<std::unique_ptr<spgemm::SpGemmAlgorithm>>(
+                    spgemm::MakeRowProduct());
+              });
+          EXPECT_TRUE(s.ok()) << s.ToString();
+          core::RegisterCoreAlgorithms();
+        } else {
+          // Reader threads: the full query surface.
+          auto algorithm = registry.Create("row-product");
+          if (algorithm.ok()) created.fetch_add(1);
+          EXPECT_TRUE(registry.Contains("outer-product"));
+          EXPECT_FALSE(registry.Names().empty());
+          auto missing = registry.Create("zz-definitely-missing");
+          EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(created.load(), (kThreads / 2) * kIterations);
 }
 
 TEST(AlgorithmRegistryTest, SuitesPreservePlotOrder) {

@@ -95,9 +95,9 @@ TEST_P(AlgorithmCorrectnessTest, SquareMatchesReference) {
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithmsAllCases, AlgorithmCorrectnessTest,
     ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 7)),
-    [](const ::testing::TestParamInfo<CaseAlgParam>& info) {
-      return std::string(kCases[std::get<0>(info.param)].name) + "_" +
-             kAlgNames[std::get<1>(info.param)];
+    [](const ::testing::TestParamInfo<CaseAlgParam>& param_info) {
+      return std::string(kCases[std::get<0>(param_info.param)].name) + "_" +
+             kAlgNames[std::get<1>(param_info.param)];
     });
 
 class RectangularProductTest : public ::testing::TestWithParam<int> {};

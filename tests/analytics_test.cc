@@ -39,8 +39,9 @@ CsrMatrix Complete(Index n) {
 }
 
 core::BlockReorganizerSpGemm& Reorganizer() {
+  // Leaked on purpose: shared across tests, destruction order irrelevant.
   static core::BlockReorganizerSpGemm* alg =
-      new core::BlockReorganizerSpGemm();
+      new core::BlockReorganizerSpGemm();  // spnet-lint: allow(raw-new-delete)
   return *alg;
 }
 

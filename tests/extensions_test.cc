@@ -52,9 +52,10 @@ TEST_P(ExtensionAlgorithmTest, RejectsDimensionMismatch) {
 
 INSTANTIATE_TEST_SUITE_P(BothExtensions, ExtensionAlgorithmTest,
                          ::testing::Values(0, 1),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return info.param == 0 ? std::string("acspgemm")
-                                                  : std::string("nsparse");
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return param_info.param == 0
+                                      ? std::string("acspgemm")
+                                      : std::string("nsparse");
                          });
 
 TEST(ExtendedSuiteTest, ContainsNineAlgorithms) {

@@ -86,9 +86,9 @@ TEST_P(FuzzAgreementTest, AllAlgorithmsAgreeWithReference) {
 INSTANTIATE_TEST_SUITE_P(
     FamiliesTimesSeeds, FuzzAgreementTest,
     ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 5)),
-    [](const ::testing::TestParamInfo<FuzzParam>& info) {
-      return std::string(kFamilies[std::get<0>(info.param)]) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<FuzzParam>& param_info) {
+      return std::string(kFamilies[std::get<0>(param_info.param)]) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -1,0 +1,10 @@
+// Fixture: char-ctype must fire when a plain char reaches a classifier.
+#include <cctype>
+
+namespace spnet {
+
+bool Demo(char c) {
+  return std::isspace(c) || std::tolower(c) == 'a';
+}
+
+}  // namespace spnet

@@ -1,0 +1,11 @@
+// Fixture: the unsigned char cast idiom never fires char-ctype.
+#include <cctype>
+
+namespace spnet {
+
+bool Demo(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0 ||
+         std::tolower(static_cast<unsigned char>(c)) == 'a';
+}
+
+}  // namespace spnet

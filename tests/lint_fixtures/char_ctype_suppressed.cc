@@ -1,0 +1,10 @@
+// Fixture: char-ctype honors inline suppression markers.
+#include <cctype>
+
+namespace spnet {
+
+bool Demo(char c) {
+  return std::isdigit(c) != 0;  // spnet-lint: allow(char-ctype)
+}
+
+}  // namespace spnet

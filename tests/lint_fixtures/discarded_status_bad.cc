@@ -1,0 +1,13 @@
+// Fixture: discarded-status must fire on bare and member calls.
+#include "common/status.h"
+
+namespace spnet {
+
+Status Run();
+
+void Demo(verify::FaultInjector& injector) {
+  Run();
+  injector.Check("sparse.loader.read");
+}
+
+}  // namespace spnet

@@ -1,0 +1,18 @@
+// Fixture: consumed Status/Result values never fire discarded-status.
+#include "common/status.h"
+
+namespace spnet {
+
+Status Run();
+
+Status Demo(ThreadPool& pool) {
+  const Status status = Run();
+  if (!status.ok()) return status;
+  SPNET_CHECK_OK(pool.ParallelFor(0, 8, 1, Chunk));
+  if (!Run().ok()) {
+    return Status::Internal("retry failed");
+  }
+  return Run();
+}
+
+}  // namespace spnet

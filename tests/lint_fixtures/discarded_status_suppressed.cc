@@ -1,0 +1,14 @@
+// Fixture: inline markers silence discarded-status, trailing or above.
+#include "common/status.h"
+
+namespace spnet {
+
+Status Run();
+
+void Demo(verify::FaultInjector& injector) {
+  Run();  // spnet-lint: allow(discarded-status)
+  // spnet-lint: allow(discarded-status)
+  injector.Check("sparse.loader.read");
+}
+
+}  // namespace spnet

@@ -1,0 +1,17 @@
+// Fixture: exec-context-threading must fire on PlanImpl/ComputeImpl
+// overrides that drop the ExecContext parameter.
+#include "spgemm/algorithm.h"
+
+namespace spnet {
+
+class BadAlgorithm : public spgemm::SpGemmAlgorithm {
+ private:
+  Result<spgemm::SpGemmPlan> PlanImpl(
+      const sparse::CsrMatrix& a, const sparse::CsrMatrix& b,
+      const gpusim::DeviceSpec& device) const override;
+
+  Result<spgemm::SpGemmMeasurement> ComputeImpl(
+      const spgemm::SpGemmPlan& plan) const override;
+};
+
+}  // namespace spnet

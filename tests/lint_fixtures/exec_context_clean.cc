@@ -1,0 +1,27 @@
+// Fixture: overrides that thread ExecContext* — and plain call sites of
+// the hooks — never fire exec-context-threading.
+#include "spgemm/algorithm.h"
+
+namespace spnet {
+
+class GoodAlgorithm : public spgemm::SpGemmAlgorithm {
+ private:
+  Result<spgemm::SpGemmPlan> PlanImpl(const sparse::CsrMatrix& a,
+                                      const sparse::CsrMatrix& b,
+                                      const gpusim::DeviceSpec& device,
+                                      spgemm::ExecContext* ctx) const override;
+
+  Result<spgemm::SpGemmMeasurement> ComputeImpl(
+      const spgemm::SpGemmPlan& plan,
+      spgemm::ExecContext* ctx) const override {
+    return DoCompute(plan, ctx);
+  }
+};
+
+Result<spgemm::SpGemmPlan> Dispatch(const GoodAlgorithm& algorithm) {
+  // A call site: the arguments name no types, and nothing trailing marks
+  // it as a declaration.
+  return PlanImpl(a, b, device, ctx);
+}
+
+}  // namespace spnet

@@ -1,0 +1,14 @@
+// Fixture: exec-context-threading honors inline suppression markers.
+#include "spgemm/algorithm.h"
+
+namespace spnet {
+
+class LegacyAlgorithm : public spgemm::SpGemmAlgorithm {
+ private:
+  // spnet-lint: allow(exec-context-threading)
+  Result<spgemm::SpGemmPlan> PlanImpl(
+      const sparse::CsrMatrix& a, const sparse::CsrMatrix& b,
+      const gpusim::DeviceSpec& device) const override;
+};
+
+}  // namespace spnet

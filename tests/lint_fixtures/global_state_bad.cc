@@ -1,0 +1,14 @@
+// Fixture: global-mutable-state must fire on unguarded globals in every
+// init spelling (=, brace, default).
+#include <string>
+#include <vector>
+
+namespace spnet {
+namespace {
+
+int g_counter = 0;
+std::string g_last_error;
+std::vector<int> g_values{1, 2, 3};
+
+}  // namespace
+}  // namespace spnet

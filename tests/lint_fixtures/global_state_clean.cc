@@ -1,0 +1,34 @@
+// Fixture: immutable, per-thread, atomic and mutex-guarded globals (plus
+// functions and type definitions) never fire global-mutable-state.
+#include <atomic>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace spnet {
+namespace {
+
+constexpr int kLimit = 8;
+const char* const kName = "spnet";
+inline constexpr char kTable[] = "abc";
+std::atomic<int64_t> g_hits{0};
+Mutex g_mu;
+int g_guarded GUARDED_BY(g_mu) = 0;
+thread_local int t_scratch = 0;
+
+struct Options {
+  int level = 0;
+};
+
+int Add(int a, int b);
+
+inline int Twice(int x) { return x * 2; }
+
+}  // namespace
+
+extern "C" {
+const int kAbiVersion = 3;
+}
+
+}  // namespace spnet

@@ -1,0 +1,8 @@
+// Fixture: global-mutable-state honors inline suppression markers.
+namespace spnet {
+namespace {
+
+int g_counter = 0;  // spnet-lint: allow(global-mutable-state)
+
+}  // namespace
+}  // namespace spnet

@@ -1,0 +1,7 @@
+// Fixture: include-iostream must fire in headers.
+#ifndef SPNET_TESTS_LINT_FIXTURES_INCLUDE_IOSTREAM_BAD_H_
+#define SPNET_TESTS_LINT_FIXTURES_INCLUDE_IOSTREAM_BAD_H_
+
+#include <iostream>
+
+#endif  // SPNET_TESTS_LINT_FIXTURES_INCLUDE_IOSTREAM_BAD_H_

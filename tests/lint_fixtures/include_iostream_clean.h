@@ -1,0 +1,9 @@
+// Fixture: stream-free output headers never fire include-iostream.
+#ifndef SPNET_TESTS_LINT_FIXTURES_INCLUDE_IOSTREAM_CLEAN_H_
+#define SPNET_TESTS_LINT_FIXTURES_INCLUDE_IOSTREAM_CLEAN_H_
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#endif  // SPNET_TESTS_LINT_FIXTURES_INCLUDE_IOSTREAM_CLEAN_H_

@@ -1,0 +1,7 @@
+// Fixture: include-iostream honors inline suppression markers.
+#ifndef SPNET_TESTS_LINT_FIXTURES_INCLUDE_IOSTREAM_SUPPRESSED_H_
+#define SPNET_TESTS_LINT_FIXTURES_INCLUDE_IOSTREAM_SUPPRESSED_H_
+
+#include <iostream>  // spnet-lint: allow(include-iostream)
+
+#endif  // SPNET_TESTS_LINT_FIXTURES_INCLUDE_IOSTREAM_SUPPRESSED_H_

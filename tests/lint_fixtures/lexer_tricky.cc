@@ -1,0 +1,23 @@
+// Fixture: the lexer must keep rule triggers inert inside comments,
+// string/char literals and raw strings. Expected finding count: zero.
+//
+// new delete std::tolower(c) Run();
+/* Register("x"); memory_order_relaxed
+   int* p = new int; */
+
+namespace spnet {
+
+const char* const kPlain = "new delete tolower(c) memory_order_relaxed";
+const char* const kEscaped = "quoted \" new \\ delete";
+const char kQuote = '\'';
+const char kBackslash = '\\';
+
+const char* const kRaw = R"lint(
+  int* leak = new int;
+  std::isspace(c);
+  Run();
+)lint";
+
+const char* const kRawEmptyTag = R"(delete this)";
+
+}  // namespace spnet

@@ -1,0 +1,9 @@
+// Fixture: raw-new-delete must fire on both halves of a manual pair.
+namespace spnet {
+
+void Demo() {
+  int* scratch = new int[16];
+  delete[] scratch;
+}
+
+}  // namespace spnet

@@ -1,0 +1,20 @@
+// Fixture: deleted functions, operator new declarations, smart pointers
+// and mentions inside literals/comments never fire raw-new-delete.
+#include <memory>
+
+namespace spnet {
+
+class Pool {
+ public:
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  void* operator new(std::size_t size);
+  void operator delete(void* p);
+};
+
+// Raw new and delete in prose do not count.
+inline constexpr char kHint[] = "never write new or delete by hand";
+
+void Demo() { auto owned = std::make_unique<int>(3); }
+
+}  // namespace spnet

@@ -1,0 +1,15 @@
+// Fixture: intentional leaks carry inline raw-new-delete markers.
+namespace spnet {
+
+Registry& Global() {
+  static Registry* registry =
+      new Registry();  // spnet-lint: allow(raw-new-delete)
+  return *registry;
+}
+
+void Demo(int* p) {
+  // spnet-lint: allow(raw-new-delete)
+  delete p;
+}
+
+}  // namespace spnet

@@ -1,0 +1,14 @@
+// Fixture: relaxed-atomic warns outside the audited fast-path files.
+#include <atomic>
+#include <cstdint>
+
+namespace spnet {
+namespace {
+
+std::atomic<int64_t> g_hits{0};
+
+}  // namespace
+
+void Touch() { g_hits.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace spnet

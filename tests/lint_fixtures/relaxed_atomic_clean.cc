@@ -1,0 +1,17 @@
+// Fixture: default (sequentially consistent) atomics never fire
+// relaxed-atomic.
+#include <atomic>
+#include <cstdint>
+
+namespace spnet {
+namespace {
+
+std::atomic<int64_t> g_hits{0};
+
+}  // namespace
+
+void Touch() { g_hits.fetch_add(1); }
+
+int64_t Read() { return g_hits.load(std::memory_order_acquire); }
+
+}  // namespace spnet

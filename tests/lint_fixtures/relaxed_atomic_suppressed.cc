@@ -1,0 +1,18 @@
+// Fixture: relaxed-atomic honors inline suppression markers.
+#include <atomic>
+#include <cstdint>
+
+namespace spnet {
+namespace {
+
+std::atomic<int64_t> g_hits{0};
+
+}  // namespace
+
+void Touch() {
+  // Monotonic counter, no ordering needed.
+  // spnet-lint: allow(relaxed-atomic)
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace spnet

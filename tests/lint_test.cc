@@ -1,0 +1,320 @@
+// Tests for the spnet_lint analyzer: the lexer's literal/comment
+// handling, each rule firing on a violating fixture, staying quiet on a
+// clean one and honoring inline suppressions — plus the self-check that
+// keeps the repo's own sources lint-clean.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/lint.h"
+#include "lint/runner.h"
+
+#include "gtest/gtest.h"
+
+namespace spnet {
+namespace lint {
+namespace {
+
+std::vector<Diagnostic> LintFixture(const std::string& name) {
+  const std::string path = std::string(SPNET_LINT_FIXTURE_DIR) + "/" + name;
+  auto summary = LintPaths({path}, LintOptions());
+  EXPECT_TRUE(summary.ok()) << summary.status().ToString();
+  if (!summary.ok()) return {};
+  EXPECT_EQ(summary->files_linted, 1) << path;
+  return summary->diagnostics;
+}
+
+int CountRule(const std::vector<Diagnostic>& diagnostics,
+              const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+std::string Render(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += FormatDiagnostic(d) + "\n";
+  }
+  return out;
+}
+
+// --- lexer -----------------------------------------------------------------
+
+std::vector<Token> CodeTokens(const std::string& source) {
+  std::vector<Token> tokens = Tokenize(source);
+  tokens.erase(std::remove_if(tokens.begin(), tokens.end(),
+                              [](const Token& t) {
+                                return t.kind == TokenKind::kComment;
+                              }),
+               tokens.end());
+  return tokens;
+}
+
+TEST(LintLexerTest, TracksLinesAcrossTokenKinds) {
+  const std::vector<Token> tokens =
+      Tokenize("int a = 1;\n// note\nfloat b;\n");
+  ASSERT_EQ(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[5].line, 2);
+  EXPECT_EQ(tokens[6].text, "float");
+  EXPECT_EQ(tokens[6].line, 3);
+}
+
+TEST(LintLexerTest, StringsAndCharsSwallowTriggers) {
+  const std::vector<Token> tokens =
+      CodeTokens("const char* s = \"new delete\"; char q = '\\'';");
+  for (const Token& t : tokens) {
+    EXPECT_NE(t.text, "new");
+    EXPECT_NE(t.text, "delete");
+  }
+  ASSERT_GE(tokens.size(), 6u);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[5].text, "\"new delete\"");
+}
+
+TEST(LintLexerTest, RawStringsSpanLinesWithEndLine) {
+  const std::vector<Token> tokens =
+      CodeTokens("auto s = R\"tag(\nnew int;\n)tag\";\nint after = 2;");
+  const auto raw =
+      std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+        return t.kind == TokenKind::kString;
+      });
+  ASSERT_NE(raw, tokens.end());
+  EXPECT_EQ(raw->line, 1);
+  EXPECT_EQ(raw->end_line, 3);
+  const auto after =
+      std::find_if(tokens.begin(), tokens.end(),
+                   [](const Token& t) { return t.text == "after"; });
+  ASSERT_NE(after, tokens.end());
+  EXPECT_EQ(after->line, 4);
+}
+
+TEST(LintLexerTest, BlockCommentsAndPreprocAreSingleTokens) {
+  const std::vector<Token> tokens = Tokenize(
+      "#include <map> // why\n/* a\nb */ int x;\n#define F(a) \\\n  (a)\n");
+  ASSERT_GE(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPreproc);
+  EXPECT_EQ(tokens[0].text, "#include <map> ");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].end_line, 3);
+  const auto define =
+      std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+        return t.kind == TokenKind::kPreproc && t.text.rfind("#define", 0) == 0;
+      });
+  ASSERT_NE(define, tokens.end());
+  EXPECT_EQ(define->text, "#define F(a)    (a)");
+  EXPECT_EQ(define->end_line, 5);
+}
+
+TEST(LintLexerTest, MultiCharPunctuatorsStayWhole) {
+  const std::vector<Token> tokens = CodeTokens("a::b->c <<= 1;");
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[1].text, "::");
+  EXPECT_EQ(tokens[3].text, "->");
+  EXPECT_EQ(tokens[5].text, "<<=");
+}
+
+// --- per-rule fixtures -----------------------------------------------------
+
+TEST(LintRuleTest, DiscardedStatusFiresOnBadFixture) {
+  const auto diagnostics = LintFixture("discarded_status_bad.cc");
+  EXPECT_EQ(CountRule(diagnostics, "discarded-status"), 2)
+      << Render(diagnostics);
+}
+
+TEST(LintRuleTest, DiscardedStatusQuietOnCleanFixture) {
+  const auto diagnostics = LintFixture("discarded_status_clean.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, DiscardedStatusHonorsSuppression) {
+  const auto diagnostics = LintFixture("discarded_status_suppressed.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, RawNewDeleteFiresOnBadFixture) {
+  const auto diagnostics = LintFixture("raw_new_delete_bad.cc");
+  EXPECT_EQ(CountRule(diagnostics, "raw-new-delete"), 2)
+      << Render(diagnostics);
+}
+
+TEST(LintRuleTest, RawNewDeleteQuietOnCleanFixture) {
+  const auto diagnostics = LintFixture("raw_new_delete_clean.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, RawNewDeleteHonorsSuppression) {
+  const auto diagnostics = LintFixture("raw_new_delete_suppressed.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, RawNewDeleteHonorsFileAllowlist) {
+  LintOptions options;
+  options.raw_new_delete_allowlist.push_back("lint_fixtures/raw_new_delete");
+  const std::string path =
+      std::string(SPNET_LINT_FIXTURE_DIR) + "/raw_new_delete_bad.cc";
+  auto summary = LintPaths({path}, options);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_TRUE(summary->diagnostics.empty()) << Render(summary->diagnostics);
+}
+
+TEST(LintRuleTest, CharCtypeFiresOnBadFixture) {
+  const auto diagnostics = LintFixture("char_ctype_bad.cc");
+  EXPECT_EQ(CountRule(diagnostics, "char-ctype"), 2) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, CharCtypeQuietOnCleanFixture) {
+  const auto diagnostics = LintFixture("char_ctype_clean.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, CharCtypeHonorsSuppression) {
+  const auto diagnostics = LintFixture("char_ctype_suppressed.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, GlobalMutableStateFiresOnBadFixture) {
+  const auto diagnostics = LintFixture("global_state_bad.cc");
+  EXPECT_EQ(CountRule(diagnostics, "global-mutable-state"), 3)
+      << Render(diagnostics);
+}
+
+TEST(LintRuleTest, GlobalMutableStateQuietOnCleanFixture) {
+  const auto diagnostics = LintFixture("global_state_clean.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, GlobalMutableStateHonorsSuppression) {
+  const auto diagnostics = LintFixture("global_state_suppressed.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, RelaxedAtomicWarnsOnBadFixture) {
+  const auto diagnostics = LintFixture("relaxed_atomic_bad.cc");
+  ASSERT_EQ(CountRule(diagnostics, "relaxed-atomic"), 1)
+      << Render(diagnostics);
+  EXPECT_EQ(diagnostics.front().severity, Severity::kWarning);
+}
+
+TEST(LintRuleTest, RelaxedAtomicQuietOnCleanFixture) {
+  const auto diagnostics = LintFixture("relaxed_atomic_clean.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, RelaxedAtomicHonorsSuppression) {
+  const auto diagnostics = LintFixture("relaxed_atomic_suppressed.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, RelaxedAtomicHonorsDefaultAllowlist) {
+  // The same source that warns as a fixture is fine under an allow-listed
+  // path: the default allowlist names the audited fast-path files.
+  const std::vector<Diagnostic> diagnostics = LintSource(
+      "src/metrics/registry.cc",
+      "void Touch() { g.fetch_add(1, std::memory_order_relaxed); }\n",
+      LintOptions());
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, ExecContextFiresOnBadFixture) {
+  const auto diagnostics = LintFixture("exec_context_bad.cc");
+  EXPECT_EQ(CountRule(diagnostics, "exec-context-threading"), 2)
+      << Render(diagnostics);
+}
+
+TEST(LintRuleTest, ExecContextQuietOnCleanFixture) {
+  const auto diagnostics = LintFixture("exec_context_clean.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, ExecContextHonorsSuppression) {
+  const auto diagnostics = LintFixture("exec_context_suppressed.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, IncludeIostreamFiresOnBadHeader) {
+  const auto diagnostics = LintFixture("include_iostream_bad.h");
+  EXPECT_EQ(CountRule(diagnostics, "include-iostream"), 1)
+      << Render(diagnostics);
+}
+
+TEST(LintRuleTest, IncludeIostreamQuietOnCleanHeader) {
+  const auto diagnostics = LintFixture("include_iostream_clean.h");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, IncludeIostreamHonorsSuppression) {
+  const auto diagnostics = LintFixture("include_iostream_suppressed.h");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, IncludeIostreamIgnoresSourceFiles) {
+  const std::vector<Diagnostic> diagnostics =
+      LintSource("tool.cc", "#include <iostream>\n", LintOptions());
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+TEST(LintRuleTest, LexerTrickyFixtureIsInert) {
+  const auto diagnostics = LintFixture("lexer_tricky.cc");
+  EXPECT_TRUE(diagnostics.empty()) << Render(diagnostics);
+}
+
+// --- diagnostics & catalog -------------------------------------------------
+
+TEST(LintRunnerTest, FormatIsGccStyle) {
+  const Diagnostic diagnostic{"src/a.cc", 12, "raw-new-delete",
+                              Severity::kError, "boom"};
+  EXPECT_EQ(FormatDiagnostic(diagnostic),
+            "src/a.cc:12: error: boom [raw-new-delete]");
+}
+
+TEST(LintRunnerTest, CatalogCoversEveryEmittedRule) {
+  const std::vector<const char*> expected = {
+      "discarded-status",     "raw-new-delete", "char-ctype",
+      "global-mutable-state", "relaxed-atomic", "exec-context-threading",
+      "include-iostream"};
+  ASSERT_EQ(Rules().size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_STREQ(Rules()[i].name, expected[i]);
+  }
+}
+
+TEST(LintRunnerTest, LintableExtensions) {
+  EXPECT_TRUE(IsLintableFile("a.h"));
+  EXPECT_TRUE(IsLintableFile("a.cc"));
+  EXPECT_TRUE(IsLintableFile("kernels/a.cuh"));
+  EXPECT_FALSE(IsLintableFile("a.md"));
+  EXPECT_FALSE(IsLintableFile("CMakeLists.txt"));
+}
+
+TEST(LintRunnerTest, MissingPathIsNotFound) {
+  auto summary = LintPaths({"definitely/not/a/path"}, LintOptions());
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kNotFound);
+}
+
+// --- self-check ------------------------------------------------------------
+
+// The acceptance gate: the repo's own sources are lint-clean. The walk
+// skips lint_fixtures/ (this corpus violates rules on purpose).
+TEST(LintSelfCheckTest, RepositoryIsLintClean) {
+  const std::string root = SPNET_SOURCE_DIR;
+  auto summary = LintPaths(
+      {root + "/src", root + "/tools", root + "/tests", root + "/bench"},
+      LintOptions());
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_GT(summary->files_linted, 100);
+  EXPECT_EQ(summary->errors, 0) << Render(summary->diagnostics);
+  EXPECT_EQ(summary->warnings, 0) << Render(summary->diagnostics);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace spnet

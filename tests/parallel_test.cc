@@ -86,10 +86,11 @@ TEST(ThreadPoolTest, NonPositiveGrainIsClampedToOne) {
 TEST(ThreadPoolTest, ThreadIndexStaysInBounds) {
   ThreadPool pool(3);
   std::atomic<bool> out_of_bounds{false};
-  pool.ParallelFor(0, 1000, 5, [&](int64_t, int64_t, int thread_index) {
-    if (thread_index < 0 || thread_index >= 3) out_of_bounds = true;
-    return Status::Ok();
-  });
+  SPNET_CHECK_OK(
+      pool.ParallelFor(0, 1000, 5, [&](int64_t, int64_t, int thread_index) {
+        if (thread_index < 0 || thread_index >= 3) out_of_bounds = true;
+        return Status::Ok();
+      }));
   EXPECT_FALSE(out_of_bounds.load());
 }
 

@@ -44,9 +44,9 @@ TEST_P(ReorganizerToggleTest, ComputeMatchesReference) {
 INSTANTIATE_TEST_SUITE_P(
     AllToggles, ReorganizerToggleTest,
     ::testing::Combine(::testing::Range(0, 8), ::testing::Bool()),
-    [](const ::testing::TestParamInfo<MaskSkewParam>& info) {
-      return "mask" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) ? "_skewed" : "_uniform");
+    [](const ::testing::TestParamInfo<MaskSkewParam>& param_info) {
+      return "mask" + std::to_string(std::get<0>(param_info.param)) +
+             (std::get<1>(param_info.param) ? "_skewed" : "_uniform");
     });
 
 /// Splitting-factor sweep: the mapper/pointer transformation must be

@@ -1,0 +1,80 @@
+// spnet_lint: the project's source linter.
+//
+// Tokenizes the C++ sources under the given paths with a real lexer
+// (comments, string/char literals, raw strings and preprocessor lines are
+// understood, so rules never fire inside them) and enforces the project
+// rules described in DESIGN.md §lint. Exit status: 0 when clean, 1 when
+// any error-severity finding survives suppression (or any warning under
+// --werror), 2 on usage/IO problems.
+//
+// Usage:
+//   spnet_lint [--werror] [--list-rules] <path>...
+//
+// Suppress a finding inline with `// spnet-lint: allow(<rule>)` on the
+// same line or the line above.
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/status.h"
+#include "lint/lint.h"
+#include "lint/runner.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: spnet_lint [--werror] [--list-rules] <path>...\n"
+               "  --werror      treat warnings as errors\n"
+               "  --list-rules  print the rule catalog and exit\n");
+}
+
+void PrintRules() {
+  for (const spnet::lint::RuleInfo& rule : spnet::lint::Rules()) {
+    std::printf("%-24s %-8s %s\n", rule.name,
+                rule.severity == spnet::lint::Severity::kError ? "error"
+                                                               : "warning",
+                rule.summary);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spnet::FlagParser flags;
+  const spnet::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "spnet_lint: %s\n", parsed.ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (flags.GetBool("list-rules", false) ||
+      flags.GetBool("list_rules", false)) {
+    PrintRules();
+    return 0;
+  }
+  if (flags.positional().empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  const spnet::lint::LintOptions options;
+  auto summary = spnet::lint::LintPaths(flags.positional(), options);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "spnet_lint: %s\n",
+                 summary.status().ToString().c_str());
+    return 2;
+  }
+  for (const spnet::lint::Diagnostic& diagnostic : summary->diagnostics) {
+    std::fprintf(stderr, "%s\n",
+                 spnet::lint::FormatDiagnostic(diagnostic).c_str());
+  }
+  const bool werror = flags.GetBool("werror", false);
+  const int effective_errors =
+      summary->errors + (werror ? summary->warnings : 0);
+  std::fprintf(stderr, "spnet_lint: %d file%s, %d error%s, %d warning%s\n",
+               summary->files_linted, summary->files_linted == 1 ? "" : "s",
+               summary->errors, summary->errors == 1 ? "" : "s",
+               summary->warnings, summary->warnings == 1 ? "" : "s");
+  return effective_errors > 0 ? 1 : 0;
+}
