@@ -36,31 +36,33 @@
 namespace spnet {
 namespace {
 
-std::vector<engine::BatchQuery> BuildWorkload(const bench::BenchOptions& options,
-                                              int64_t repeat) {
+std::vector<engine::Request> BuildWorkload(const bench::BenchOptions& options,
+                                           int64_t repeat) {
   // Three skewed SNAP stand-ins — the family whose planning cost
   // (dominator classification + splitting) dominates end-to-end latency.
   const std::vector<std::string> names = {"as-caida", "emailEnron",
                                           "epinions"};
-  std::vector<engine::BatchQuery> queries;
+  std::vector<engine::Request> requests;
   for (const std::string& name : names) {
     auto matrix = std::make_shared<const sparse::CsrMatrix>(
         bench::LoadDataset(name, options));
     for (int64_t k = 0; k < repeat; ++k) {
-      engine::BatchQuery q;
-      q.id = name + "#" + std::to_string(k);
-      q.a = matrix;
-      q.algorithm = "reorganizer";
-      queries.push_back(std::move(q));
+      auto request = engine::RequestBuilder()
+                         .Id(name + "#" + std::to_string(k))
+                         .Algorithm("reorganizer")
+                         .OperandA(matrix)
+                         .Build();
+      SPNET_CHECK(request.ok()) << request.status().ToString();
+      requests.push_back(std::move(request).value());
     }
   }
-  return queries;
+  return requests;
 }
 
-engine::BatchReport RunPass(engine::BatchRunner* runner,
-                            const std::vector<engine::BatchQuery>& queries,
-                            spgemm::ExecContext* ctx) {
-  auto report = runner->Run(queries, ctx);
+engine::ExecutionReport RunPass(engine::BatchRunner* runner,
+                                const std::vector<engine::Request>& requests,
+                                spgemm::ExecContext* ctx) {
+  auto report = runner->Execute(requests, ctx);
   SPNET_CHECK(report.ok()) << report.status().ToString();
   SPNET_CHECK(report->failed == 0) << "batch pass had failing queries";
   return std::move(report).value();
@@ -72,8 +74,7 @@ int Run(int argc, char** argv) {
   SPNET_CHECK(flags.Parse(argc, argv).ok());
   const int64_t repeat = flags.GetInt("repeat", 8);
 
-  const std::vector<engine::BatchQuery> queries =
-      BuildWorkload(options, repeat);
+  const std::vector<engine::Request> queries = BuildWorkload(options, repeat);
 
   spgemm::ExecContext ctx;
 
@@ -89,7 +90,7 @@ int Run(int argc, char** argv) {
 
   struct Pass {
     const char* name;
-    engine::BatchReport report;
+    engine::ExecutionReport report;
   };
   std::vector<Pass> passes;
   passes.push_back({"no-cache", RunPass(&uncached, queries, &ctx)});

@@ -1,0 +1,332 @@
+// Serving-layer traffic bench: open-loop latency percentiles for the
+// spnet_serve stack (admission control -> priority queue -> worker pool ->
+// shared sharded plan cache) under three tenant mixes, all in-process
+// against serve::Server.
+//
+//   steady       one server, two phases. The cold phase issues exactly one
+//                request per pinned hot graph, so every cold sample pays
+//                the full planning pipeline (a plan-cache miss). The warm
+//                phase then replays Poisson arrivals from two well-behaved
+//                tenants over the same graphs; every sample hits the
+//                shared plan cache. Warm p50 must beat cold p50 — the
+//                serving restatement of the plan-cache amortization
+//                result.
+//   bursty       the same requests arriving in back-to-back bursts larger
+//                than the bounded queue; the overflow is rejected with
+//                ResourceExhausted (queue) instead of building latency
+//                debt, and the admitted remainder keeps bounded
+//                percentiles.
+//   adversarial  one tenant floods at 4x the steady rate against a small
+//                token-bucket quota while a polite tenant shares the
+//                server; the flood is clipped by quota rejections and the
+//                polite tenant's requests all complete.
+//
+// Arrivals are open-loop (precomputed exponential inter-arrival schedule,
+// submission does not wait for completions), so queueing delay shows up in
+// the end-to-end latency histograms instead of throttling the generator.
+// Latency is measured from submission to response callback and reported as
+// p50/p99/p999 from log2-bucket histograms (resolution: one power of two).
+//
+// Flags: the common bench set (--scale --seed --device --csv --threads
+// --cache --json_out) plus --requests (per wave, default 60), --rate
+// (steady arrivals/sec, default 300), --burst (requests per burst, default
+// 40), --queue (queue capacity, default 16), --workers (default 2).
+//
+// CI writes --json_out=BENCH_serve_baseline.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "metrics/registry.h"
+#include "metrics/report.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace spnet {
+namespace {
+
+const char* const kHotSources[] = {"as-caida", "emailEnron", "epinions"};
+
+/// Accumulates one scenario's outcome. Callbacks run on worker threads, so
+/// the completion-side fields are atomics / a lock-free histogram;
+/// submission-side tallies are written by the (single) generator thread.
+struct Scenario {
+  explicit Scenario(std::string scenario_name)
+      : name(std::move(scenario_name)) {}
+
+  std::string name;
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t rejected_quota = 0;
+  int64_t rejected_queue = 0;
+  int64_t rejected_other = 0;
+  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> failed{0};
+  metrics::Histogram latency_us;
+};
+
+/// One open-loop arrival.
+struct Arrival {
+  double at_seconds = 0.0;
+  std::string tenant;
+  std::string source;
+  int priority = 0;
+};
+
+/// Exponential inter-arrival offsets for `count` events at `rate`/sec.
+std::vector<double> PoissonOffsets(int64_t count, double rate, Rng* rng) {
+  std::vector<double> offsets;
+  offsets.reserve(static_cast<size_t>(count));
+  double t = 0.0;
+  for (int64_t i = 0; i < count; ++i) {
+    // Inversion sampling; NextDouble is in [0, 1) so the log argument is
+    // in (0, 1].
+    t += -std::log(1.0 - rng->NextDouble()) / rate;
+    offsets.push_back(t);
+  }
+  return offsets;
+}
+
+void SubmitOne(serve::Server* server, Scenario* scenario, Timer* clock,
+               const Arrival& arrival) {
+  ++scenario->submitted;
+  serve::WireRequest wire;
+  wire.id = scenario->name + "#" + std::to_string(scenario->submitted);
+  wire.tenant = arrival.tenant;
+  wire.source = arrival.source;
+  wire.priority = arrival.priority;
+  const double start_s = clock->Seconds();
+  const Status submitted = server->SubmitWire(
+      wire, [scenario, clock, start_s](const engine::Response& response) {
+        scenario->latency_us.Observe(
+            static_cast<int64_t>((clock->Seconds() - start_s) * 1e6));
+        if (response.status.ok()) {
+          scenario->completed.fetch_add(1);
+        } else {
+          scenario->failed.fetch_add(1);
+        }
+      });
+  if (submitted.ok()) {
+    ++scenario->admitted;
+  } else if (submitted.code() == StatusCode::kResourceExhausted) {
+    if (submitted.message().find("quota") != std::string::npos) {
+      ++scenario->rejected_quota;
+    } else {
+      ++scenario->rejected_queue;
+    }
+  } else {
+    ++scenario->rejected_other;
+  }
+}
+
+/// Replays `arrivals` open-loop against their precomputed schedule, then
+/// waits for every admitted request to complete.
+void RunWave(serve::Server* server, Scenario* scenario, Timer* clock,
+             const std::vector<Arrival>& arrivals) {
+  const double start_s = clock->Seconds();
+  for (const Arrival& arrival : arrivals) {
+    const double due_s = start_s + arrival.at_seconds;
+    const double now_s = clock->Seconds();
+    if (now_s < due_s) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(due_s - now_s));
+    }
+    SubmitOne(server, scenario, clock, arrival);
+  }
+  while (server->in_flight() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+serve::ServeOptions BaseOptions(const bench::BenchOptions& options,
+                                int workers, size_t queue_capacity) {
+  serve::ServeOptions serve_options;
+  serve_options.workers = workers;
+  serve_options.queue_capacity = queue_capacity;
+  serve_options.engine.device = options.Device();
+  serve_options.store.load.scale = options.scale;
+  serve_options.store.load.seed = options.seed;
+  serve_options.store.load.dataset_cache_dir = options.cache_dir;
+  for (const char* source : kHotSources) {
+    serve_options.pinned_sources.push_back(source);
+  }
+  return serve_options;
+}
+
+void AddRow(metrics::Table* table, const Scenario& scenario) {
+  table->AddRow(
+      {scenario.name, std::to_string(scenario.submitted),
+       std::to_string(scenario.admitted),
+       std::to_string(scenario.rejected_quota),
+       std::to_string(scenario.rejected_queue),
+       std::to_string(scenario.completed.load()),
+       std::to_string(scenario.failed.load()),
+       metrics::FormatDouble(scenario.latency_us.Percentile(0.50), 1),
+       metrics::FormatDouble(scenario.latency_us.Percentile(0.99), 1),
+       metrics::FormatDouble(scenario.latency_us.Percentile(0.999), 1)});
+}
+
+int Run(int argc, char** argv) {
+  bench::BenchOptions options = bench::BenchOptions::FromArgs(argc, argv);
+  FlagParser flags;
+  SPNET_CHECK(flags.Parse(argc, argv).ok());
+  const int64_t requests = std::max<int64_t>(1, flags.GetInt("requests", 60));
+  const double rate = flags.GetDouble("rate", 300.0);
+  const int64_t burst = std::max<int64_t>(1, flags.GetInt("burst", 40));
+  const size_t queue_capacity =
+      static_cast<size_t>(std::max<int64_t>(1, flags.GetInt("queue", 16)));
+  const int workers = static_cast<int>(flags.GetInt("workers", 2));
+
+  Timer clock;
+  Rng rng(options.seed);
+  std::deque<Scenario> scenarios;
+
+  // -- steady: one server, a cold phase then a warm Poisson wave. The
+  // cold phase is exactly one request per hot structure so every cold
+  // sample pays the full planning pipeline (a plan-cache miss); the warm
+  // wave re-queries the same structures and every sample is a hit. This
+  // mirrors bench_engine_batch's cold/warm passes at the serving layer.
+  Scenario& steady_cold = scenarios.emplace_back("steady-cold");
+  Scenario& steady_warm = scenarios.emplace_back("steady-warm");
+  std::string steady_counters_json;
+  {
+    serve::Server server(BaseOptions(options, workers, queue_capacity));
+    SPNET_CHECK(server.Start().ok());
+    std::vector<Arrival> cold_wave;
+    for (const char* source : kHotSources) {
+      Arrival arrival;
+      arrival.tenant = "t0";
+      arrival.source = source;
+      cold_wave.push_back(std::move(arrival));
+    }
+    RunWave(&server, &steady_cold, &clock, cold_wave);
+
+    const std::vector<double> offsets = PoissonOffsets(requests, rate, &rng);
+    std::vector<Arrival> warm_wave;
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      Arrival arrival;
+      arrival.at_seconds = offsets[i];
+      arrival.tenant = i % 2 == 0 ? "t0" : "t1";
+      arrival.source = kHotSources[i % 3];
+      warm_wave.push_back(std::move(arrival));
+    }
+    RunWave(&server, &steady_warm, &clock, warm_wave);
+    steady_counters_json = server.StatsJson();
+    server.Drain();
+  }
+
+  // -- bursty: the queue bound sheds the excess of each burst.
+  Scenario& bursty = scenarios.emplace_back("bursty");
+  {
+    serve::Server server(BaseOptions(options, workers, queue_capacity));
+    SPNET_CHECK(server.Start().ok());
+    std::vector<Arrival> wave;
+    for (int64_t b = 0; b < 3; ++b) {
+      for (int64_t i = 0; i < burst; ++i) {
+        Arrival arrival;
+        // All of a burst is due at its start; 50 ms between bursts.
+        arrival.at_seconds = static_cast<double>(b) * 0.05;
+        arrival.tenant = "burster";
+        arrival.source = kHotSources[static_cast<size_t>(i) % 3];
+        wave.push_back(std::move(arrival));
+      }
+    }
+    RunWave(&server, &bursty, &clock, wave);
+    server.Drain();
+  }
+
+  // -- adversarial: a quota-capped flood next to a polite tenant.
+  Scenario& adversarial = scenarios.emplace_back("adversarial");
+  Scenario& polite = scenarios.emplace_back("adversarial-polite");
+  {
+    serve::ServeOptions serve_options =
+        BaseOptions(options, workers, queue_capacity);
+    serve::TenantQuota flood_quota;
+    flood_quota.capacity = 8.0;
+    flood_quota.refill_per_sec = 20.0;
+    serve_options.tenant_quotas["flood"] = flood_quota;
+    serve::Server server(serve_options);
+    SPNET_CHECK(server.Start().ok());
+
+    const std::vector<double> flood_offsets =
+        PoissonOffsets(requests, 4.0 * rate, &rng);
+    const std::vector<double> polite_offsets =
+        PoissonOffsets(std::max<int64_t>(1, requests / 2), rate, &rng);
+    // Merge the two tenants' schedules by arrival time.
+    std::vector<Arrival> wave;
+    size_t f = 0;
+    size_t p = 0;
+    while (f < flood_offsets.size() || p < polite_offsets.size()) {
+      const bool take_flood =
+          p >= polite_offsets.size() ||
+          (f < flood_offsets.size() && flood_offsets[f] <= polite_offsets[p]);
+      Arrival arrival;
+      arrival.at_seconds =
+          take_flood ? flood_offsets[f] : polite_offsets[p];
+      arrival.tenant = take_flood ? "flood" : "polite";
+      arrival.source = kHotSources[(f + p) % 3];
+      wave.push_back(std::move(arrival));
+      (take_flood ? f : p) += 1;
+    }
+    // One generator drives both tenants; route each arrival to its
+    // scenario accumulator.
+    const double start_s = clock.Seconds();
+    for (const Arrival& arrival : wave) {
+      const double due_s = start_s + arrival.at_seconds;
+      const double now_s = clock.Seconds();
+      if (now_s < due_s) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(due_s - now_s));
+      }
+      SubmitOne(&server,
+                arrival.tenant == "flood" ? &adversarial : &polite, &clock,
+                arrival);
+    }
+    while (server.in_flight() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    server.Drain();
+  }
+
+  metrics::Table table({"scenario", "submitted", "admitted", "rej quota",
+                        "rej queue", "completed", "failed", "p50 us",
+                        "p99 us", "p999 us"});
+  for (const Scenario& scenario : scenarios) AddRow(&table, scenario);
+
+  std::printf("== serve traffic: open-loop latency percentiles "
+              "(%lld req/wave, %g/s, queue %zu, %d workers) ==\n",
+              static_cast<long long>(requests), rate, queue_capacity,
+              workers);
+  std::fputs(options.csv ? table.ToCsv().c_str() : table.ToString().c_str(),
+             stdout);
+  const double cold_p50 = steady_cold.latency_us.Percentile(0.50);
+  const double warm_p50 = steady_warm.latency_us.Percentile(0.50);
+  std::printf("steady p50: cold %.1f us -> warm %.1f us (%.2fx)\n", cold_p50,
+              warm_p50, warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0);
+
+  bench::BenchJson json("serve_traffic", "serving layer", options);
+  json.AddTable("serve_latency_percentiles", table);
+  json.WriteIfRequested();
+  // The steady server's full metrics document goes to stderr for
+  // debugging; the machine-readable percentiles live in the table above.
+  std::fprintf(stderr, "steady server stats: %s\n",
+               steady_counters_json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace spnet
+
+int main(int argc, char** argv) { return spnet::Run(argc, argv); }

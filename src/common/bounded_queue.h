@@ -1,0 +1,102 @@
+#ifndef SPNET_COMMON_BOUNDED_QUEUE_H_
+#define SPNET_COMMON_BOUNDED_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace spnet {
+
+/// Bounded multi-producer/multi-consumer queue with strict priority
+/// ordering: Pop always returns the oldest item of the highest priority
+/// class present (FIFO within a class, so equal-priority work is served
+/// in arrival order and cannot starve itself).
+///
+/// The bound is the admission-control contract of the serving layer:
+/// TryPush never blocks and never queues past `capacity` — a full queue
+/// is the caller's signal to reject with kResourceExhausted instead of
+/// building unbounded memory and latency debt. There is deliberately no
+/// blocking push.
+///
+/// Close() ends the producer side: further pushes fail, consumers drain
+/// the remaining items and then Pop returns false — the standard
+/// worker-loop termination handshake. All operations are thread-safe
+/// under one internal annotated Mutex; hand-off latency is one
+/// lock + CondVar signal, which is noise next to a single spGEMM plan.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item` with `priority` (higher runs sooner). Returns false —
+  /// without blocking — when the queue is full or closed; the item is
+  /// untouched in that case so the caller can report or retry.
+  bool TryPush(T item, int priority = 0) {
+    {
+      MutexLock lock(&mu_);
+      if (closed_ || size_ >= capacity_) return false;
+      buckets_[priority].push_back(std::move(item));
+      ++size_;
+    }
+    ready_.NotifyOne();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  /// Returns true with the item moved into `*out`, or false when drained
+  /// after Close() (the consumer's signal to exit its loop).
+  bool Pop(T* out) {
+    MutexLock lock(&mu_);
+    while (size_ == 0 && !closed_) ready_.Wait(&mu_);
+    if (size_ == 0) return false;  // closed and drained
+    auto it = buckets_.begin();    // highest priority class
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) buckets_.erase(it);
+    --size_;
+    return true;
+  }
+
+  /// Rejects all future pushes and wakes every blocked consumer. Items
+  /// already queued are still delivered. Idempotent.
+  void Close() {
+    {
+      MutexLock lock(&mu_);
+      closed_ = true;
+    }
+    ready_.NotifyAll();
+  }
+
+  size_t size() const {
+    MutexLock lock(&mu_);
+    return size_;
+  }
+
+  bool closed() const {
+    MutexLock lock(&mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar ready_;
+  /// Priority classes, highest first; FIFO deque per class.
+  std::map<int, std::deque<T>, std::greater<int>> buckets_ GUARDED_BY(mu_);
+  size_t size_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace spnet
+
+#endif  // SPNET_COMMON_BOUNDED_QUEUE_H_

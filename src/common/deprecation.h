@@ -1,0 +1,15 @@
+#ifndef SPNET_COMMON_DEPRECATION_H_
+#define SPNET_COMMON_DEPRECATION_H_
+
+/// Marks a legacy entry point that has a preferred replacement (named in
+/// `msg`). Expands to [[deprecated(msg)]] only when the build opts in with
+/// -DSPNET_ENABLE_DEPRECATION_WARNINGS: the repo compiles with -Werror in
+/// CI, so an unconditional attribute would turn every not-yet-migrated
+/// internal caller into a build break instead of a migration signal.
+#if defined(SPNET_ENABLE_DEPRECATION_WARNINGS)
+#define SPNET_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define SPNET_DEPRECATED(msg)
+#endif
+
+#endif  // SPNET_COMMON_DEPRECATION_H_

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

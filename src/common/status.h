@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -77,6 +78,13 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A bounded resource (queue slot, tenant quota) is spent; retrying
+  /// later may succeed. This is the admission-control rejection code: it
+  /// deliberately differs from kFailedPrecondition (the caller can fix
+  /// nothing) and kDeadlineExceeded (time, not capacity, ran out).
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,78 @@
+#ifndef SPNET_COMMON_TOKEN_BUCKET_H_
+#define SPNET_COMMON_TOKEN_BUCKET_H_
+
+#include <algorithm>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace spnet {
+
+/// Classic token-bucket rate limiter: `capacity` tokens of burst, refilled
+/// continuously at `refill_per_sec`. Each admitted request spends one
+/// token (or a caller-chosen cost), so a tenant can burst up to its bucket
+/// and then sustains exactly its refill rate.
+///
+/// Time is injected by the caller (`now_seconds`, any monotonic origin,
+/// e.g. Timer::Seconds of a process-lifetime timer) instead of read from a
+/// clock inside the class. That keeps the limiter deterministic under
+/// test — quota-exhaustion behavior is asserted by advancing a synthetic
+/// clock, not by sleeping — and keeps this header dependency-free.
+///
+/// Thread-safe; one Mutex per bucket, which is per-tenant state in the
+/// serving layer, so contention is bounded by a single tenant's arrival
+/// rate.
+class TokenBucket {
+ public:
+  /// A non-positive capacity means "unlimited": TryAcquire always admits.
+  TokenBucket(double capacity, double refill_per_sec)
+      : capacity_(capacity),
+        refill_per_sec_(refill_per_sec < 0.0 ? 0.0 : refill_per_sec),
+        tokens_(capacity) {}
+
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  /// Spends `cost` tokens if the bucket (refilled up to `now_seconds`)
+  /// holds them; false otherwise without partial spend. `now_seconds`
+  /// must be non-decreasing across calls; a stale timestamp is clamped so
+  /// reordered readers cannot mint tokens.
+  bool TryAcquire(double now_seconds, double cost = 1.0) {
+    if (capacity_ <= 0.0) return true;
+    MutexLock lock(&mu_);
+    if (now_seconds > last_refill_s_) {
+      tokens_ = std::min(
+          capacity_, tokens_ + (now_seconds - last_refill_s_) * refill_per_sec_);
+      last_refill_s_ = now_seconds;
+    }
+    if (tokens_ < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  /// Tokens available at `now_seconds` (refills as a side effect).
+  double Available(double now_seconds) {
+    if (capacity_ <= 0.0) return capacity_;
+    MutexLock lock(&mu_);
+    if (now_seconds > last_refill_s_) {
+      tokens_ = std::min(
+          capacity_, tokens_ + (now_seconds - last_refill_s_) * refill_per_sec_);
+      last_refill_s_ = now_seconds;
+    }
+    return tokens_;
+  }
+
+  double capacity() const { return capacity_; }
+  double refill_per_sec() const { return refill_per_sec_; }
+
+ private:
+  const double capacity_;
+  const double refill_per_sec_;
+  Mutex mu_;
+  double tokens_ GUARDED_BY(mu_);
+  double last_refill_s_ GUARDED_BY(mu_) = 0.0;
+};
+
+}  // namespace spnet
+
+#endif  // SPNET_COMMON_TOKEN_BUCKET_H_

@@ -13,10 +13,55 @@
 namespace spnet {
 namespace engine {
 
+Request RequestFromQuery(const BatchQuery& query) {
+  Request request;
+  request.id = query.id;
+  request.a = query.a;
+  request.b = query.b;
+  request.algorithm = query.algorithm;
+  request.deadline_ms = query.deadline_ms;
+  return request;
+}
+
+QueryResult QueryResultFromResponse(const Response& response) {
+  QueryResult result;
+  result.id = response.id;
+  result.status = response.status;
+  result.algorithm_used = response.algorithm_used;
+  result.plan_cache_hit = response.plan_cache_hit;
+  result.fallback_used = response.fallback_used;
+  result.wall_ms = response.wall_ms;
+  result.sim_ms = response.sim_ms;
+  result.gflops = response.gflops;
+  result.flops = response.flops;
+  result.output_nnz = response.output_nnz;
+  return result;
+}
+
+BatchReport BatchReportFromExecution(const ExecutionReport& report) {
+  BatchReport legacy;
+  legacy.results.reserve(report.responses.size());
+  for (const Response& response : report.responses) {
+    legacy.results.push_back(QueryResultFromResponse(response));
+  }
+  legacy.wall_ms = report.wall_ms;
+  legacy.succeeded = report.succeeded;
+  legacy.failed = report.failed;
+  legacy.fallbacks = report.fallbacks;
+  legacy.deadline_expired = report.deadline_expired;
+  legacy.plan_cache_hits = report.plan_cache_hits;
+  legacy.plan_cache_misses = report.plan_cache_misses;
+  legacy.plan_cache_evictions = report.plan_cache_evictions;
+  return legacy;
+}
+
 BatchRunner::BatchRunner(BatchOptions options)
     : options_(std::move(options)),
       reorganizer_config_fp_(options_.reorganizer_config.Fingerprint()),
-      cache_(options_.plan_cache_capacity) {
+      cache_(options_.shared_plan_cache != nullptr
+                 ? options_.shared_plan_cache
+                 : std::make_shared<PlanCache>(options_.plan_cache_capacity,
+                                               options_.plan_cache_shards)) {
   core::RegisterCoreAlgorithms();
 }
 
@@ -43,42 +88,43 @@ const BatchRunner::AlgorithmEntry& BatchRunner::ResolveAlgorithm(
   return resolved_.emplace(name, std::move(entry)).first->second;
 }
 
-void BatchRunner::RunOne(const BatchQuery& query, uint64_t fp_a,
-                         uint64_t fp_b, const AlgorithmEntry& primary,
+void BatchRunner::RunOne(const Request& request, uint64_t fp_a, uint64_t fp_b,
+                         const AlgorithmEntry& primary,
                          const AlgorithmEntry& fallback,
-                         spgemm::ExecContext* ctx, QueryResult* result) {
+                         spgemm::ExecContext* ctx, Response* response) {
   Timer timer;
-  result->id = query.id;
-  // A query-level deadline (>= 0, where 0 is born expired) wins; the
+  response->id = request.id;
+  response->tenant = request.tenant;
+  // A request-level deadline (>= 0, where 0 is born expired) wins; the
   // negative sentinel inherits the batch default, whose own <= 0 still
   // means "no deadline".
-  const bool inherits = query.deadline_ms < 0.0;
+  const bool inherits = request.deadline_ms < 0.0;
   const double deadline_ms =
-      inherits ? options_.default_deadline_ms : query.deadline_ms;
+      inherits ? options_.default_deadline_ms : request.deadline_ms;
   const bool has_deadline = inherits ? deadline_ms > 0.0 : true;
   const auto expired = [&] {
     return has_deadline && timer.Seconds() * 1e3 >= deadline_ms;
   };
   if (expired()) {
-    result->status =
-        Status::DeadlineExceeded(query.id + " expired on arrival");
-    result->wall_ms = timer.Seconds() * 1e3;
+    response->status =
+        Status::DeadlineExceeded(request.id + " expired on arrival");
+    response->wall_ms = timer.Seconds() * 1e3;
     return;
   }
 
-  // Graceful degradation step 1: a query whose algorithm could not be
+  // Graceful degradation step 1: a request whose algorithm could not be
   // built (unknown name, invalid reorganizer config) runs on the fallback
   // baseline instead of failing.
   const spgemm::SpGemmAlgorithm* algorithm = primary.algorithm;
-  std::string name = query.algorithm;
+  std::string name = request.algorithm;
   if (algorithm == nullptr) {
-    if (fallback.algorithm == nullptr || query.algorithm ==
-                                             options_.fallback_algorithm) {
-      result->status = primary.status;
-      result->wall_ms = timer.Seconds() * 1e3;
+    if (fallback.algorithm == nullptr ||
+        request.algorithm == options_.fallback_algorithm) {
+      response->status = primary.status;
+      response->wall_ms = timer.Seconds() * 1e3;
       return;
     }
-    result->fallback_used = true;
+    response->fallback_used = true;
     algorithm = fallback.algorithm;
     name = options_.fallback_algorithm;
   }
@@ -87,72 +133,75 @@ void BatchRunner::RunOne(const BatchQuery& query, uint64_t fp_a,
   while (true) {
     PlanKey key{fp_a, fp_b, name,
                 name == "reorganizer" ? reorganizer_config_fp_ : 0};
-    plan = cache_.Lookup(key, ctx);
+    plan = cache_->Lookup(key, ctx);
     if (plan != nullptr) {
-      result->plan_cache_hit = true;
+      response->plan_cache_hit = true;
       break;
     }
     if (expired()) {
-      result->status = Status::DeadlineExceeded(
-          query.id + " expired before planning");
-      result->wall_ms = timer.Seconds() * 1e3;
+      response->status =
+          Status::DeadlineExceeded(request.id + " expired before planning");
+      response->wall_ms = timer.Seconds() * 1e3;
       return;
     }
     // Worker threads pass a null context into Plan: the ExecContext's
     // TraceRecorder and pool-stats scope are single-threaded, and the
     // engine.* counters above already cover the batch path.
-    auto planned = algorithm->Plan(*query.a, query.b ? *query.b : *query.a,
-                                   options_.device, nullptr);
+    auto planned =
+        algorithm->Plan(*request.a, request.b ? *request.b : *request.a,
+                        options_.device, nullptr);
     if (planned.ok()) {
-      plan = cache_.Insert(key, std::move(planned).value(), ctx);
+      plan = cache_->Insert(key, std::move(planned).value(), ctx);
       break;
     }
     // Graceful degradation step 2: a failed Plan retries once on the
     // fallback baseline.
-    if (!result->fallback_used && fallback.algorithm != nullptr &&
+    if (!response->fallback_used && fallback.algorithm != nullptr &&
         name != options_.fallback_algorithm) {
-      result->fallback_used = true;
+      response->fallback_used = true;
       algorithm = fallback.algorithm;
       name = options_.fallback_algorithm;
       continue;
     }
-    result->status = planned.status();
-    result->wall_ms = timer.Seconds() * 1e3;
+    response->status = planned.status();
+    response->wall_ms = timer.Seconds() * 1e3;
     return;
   }
-  result->algorithm_used = name;
+  response->algorithm_used = name;
 
   if (expired()) {
-    result->status =
-        Status::DeadlineExceeded(query.id + " expired before simulation");
-    result->wall_ms = timer.Seconds() * 1e3;
+    response->status =
+        Status::DeadlineExceeded(request.id + " expired before simulation");
+    response->wall_ms = timer.Seconds() * 1e3;
     return;
   }
   auto measured = spgemm::SimulatePlan(*plan, options_.device, nullptr);
   if (!measured.ok()) {
-    result->status = measured.status();
-    result->wall_ms = timer.Seconds() * 1e3;
+    response->status = measured.status();
+    response->wall_ms = timer.Seconds() * 1e3;
     return;
   }
-  result->sim_ms = measured->total_seconds * 1e3;
-  result->gflops = measured->Gflops();
-  result->flops = measured->flops;
-  result->output_nnz = measured->output_nnz;
-  result->wall_ms = timer.Seconds() * 1e3;
+  response->sim_ms = measured->total_seconds * 1e3;
+  response->gflops = measured->Gflops();
+  response->flops = measured->flops;
+  response->output_nnz = measured->output_nnz;
+  response->wall_ms = timer.Seconds() * 1e3;
 }
 
-Result<BatchReport> BatchRunner::Run(const std::vector<BatchQuery>& queries,
-                                     spgemm::ExecContext* ctx) {
+Result<ExecutionReport> BatchRunner::Execute(
+    const std::vector<Request>& requests, spgemm::ExecContext* ctx) {
   metrics::ScopedSpan batch_span(spgemm::TraceOf(ctx), "engine:batch");
   Timer timer;
-  const int64_t hits_before = cache_.hits();
-  const int64_t misses_before = cache_.misses();
-  const int64_t evictions_before = cache_.evictions();
+  const int64_t hits_before = cache_->hits();
+  const int64_t misses_before = cache_->misses();
+  const int64_t evictions_before = cache_->evictions();
 
-  for (size_t i = 0; i < queries.size(); ++i) {
-    if (queries[i].a == nullptr) {
-      return Status::InvalidArgument("query " + std::to_string(i) + " (" +
-                                     queries[i].id + ") has no A matrix");
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SPNET_RETURN_IF_ERROR(
+        ValidateSchemaVersion(requests[i].schema_version));
+    if (requests[i].a == nullptr) {
+      return Status::InvalidArgument("request " + std::to_string(i) + " (" +
+                                     requests[i].id + ") has no A matrix");
     }
   }
   const AlgorithmEntry& fallback =
@@ -164,17 +213,17 @@ Result<BatchReport> BatchRunner::Run(const std::vector<BatchQuery>& queries,
   }
   // Serial prepass: resolve every distinct algorithm once so the parallel
   // phase only reads the memo maps.
-  std::vector<const AlgorithmEntry*> primaries(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    primaries[i] = &ResolveAlgorithm(queries[i].algorithm);
+  std::vector<const AlgorithmEntry*> primaries(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    primaries[i] = &ResolveAlgorithm(requests[i].algorithm);
   }
 
   // Fingerprint each distinct matrix once, in parallel — a manifest that
   // repeats one graph N times hashes it once, not N times.
   std::unordered_map<const sparse::CsrMatrix*, uint64_t> fingerprints;
-  for (const BatchQuery& q : queries) {
-    fingerprints.emplace(q.a.get(), 0);
-    if (q.b != nullptr) fingerprints.emplace(q.b.get(), 0);
+  for (const Request& r : requests) {
+    fingerprints.emplace(r.a.get(), 0);
+    if (r.b != nullptr) fingerprints.emplace(r.b.get(), 0);
   }
   std::vector<const sparse::CsrMatrix*> distinct;
   distinct.reserve(fingerprints.size());
@@ -186,31 +235,32 @@ Result<BatchReport> BatchRunner::Run(const std::vector<BatchQuery>& queries,
         [&](int64_t begin, int64_t end, int) {
           for (int64_t i = begin; i < end; ++i) {
             fingerprints[distinct[static_cast<size_t>(i)]] =
-                sparse::StructuralFingerprint(*distinct[static_cast<size_t>(i)]);
+                sparse::StructuralFingerprint(
+                    *distinct[static_cast<size_t>(i)]);
           }
           return Status::Ok();
         }));
   }
 
-  BatchReport report;
-  report.results.resize(queries.size());
+  ExecutionReport report;
+  report.responses.resize(requests.size());
   {
     metrics::ScopedSpan span(spgemm::TraceOf(ctx), "engine:run");
     SPNET_RETURN_IF_ERROR(ParallelFor(
-        0, static_cast<int64_t>(queries.size()), 1,
+        0, static_cast<int64_t>(requests.size()), 1,
         [&](int64_t begin, int64_t end, int) {
           for (int64_t i = begin; i < end; ++i) {
             const auto idx = static_cast<size_t>(i);
-            const BatchQuery& q = queries[idx];
-            const sparse::CsrMatrix* b = q.b ? q.b.get() : q.a.get();
-            RunOne(q, fingerprints[q.a.get()], fingerprints[b],
-                   *primaries[idx], fallback, ctx, &report.results[idx]);
+            const Request& r = requests[idx];
+            const sparse::CsrMatrix* b = r.b ? r.b.get() : r.a.get();
+            RunOne(r, fingerprints[r.a.get()], fingerprints[b],
+                   *primaries[idx], fallback, ctx, &report.responses[idx]);
           }
           return Status::Ok();
         }));
   }
 
-  for (const QueryResult& r : report.results) {
+  for (const Response& r : report.responses) {
     if (r.status.ok()) {
       ++report.succeeded;
     } else if (r.status.code() == StatusCode::kDeadlineExceeded) {
@@ -221,12 +271,12 @@ Result<BatchReport> BatchRunner::Run(const std::vector<BatchQuery>& queries,
     if (r.fallback_used) ++report.fallbacks;
   }
   report.wall_ms = timer.Seconds() * 1e3;
-  report.plan_cache_hits = cache_.hits() - hits_before;
-  report.plan_cache_misses = cache_.misses() - misses_before;
-  report.plan_cache_evictions = cache_.evictions() - evictions_before;
+  report.plan_cache_hits = cache_->hits() - hits_before;
+  report.plan_cache_misses = cache_->misses() - misses_before;
+  report.plan_cache_evictions = cache_->evictions() - evictions_before;
 
   spgemm::AddCounter(ctx, "engine.batch.queries",
-                     static_cast<int64_t>(queries.size()));
+                     static_cast<int64_t>(requests.size()));
   spgemm::AddCounter(ctx, "engine.batch.succeeded", report.succeeded);
   spgemm::AddCounter(ctx, "engine.batch.failed", report.failed);
   spgemm::AddCounter(ctx, "engine.batch.fallback", report.fallbacks);
@@ -234,8 +284,20 @@ Result<BatchReport> BatchRunner::Run(const std::vector<BatchQuery>& queries,
                      report.deadline_expired);
   spgemm::SetGauge(ctx, "engine.batch.wall_ms", report.wall_ms);
   spgemm::SetGauge(ctx, "engine.plan_cache.size",
-                   static_cast<double>(cache_.size()));
+                   static_cast<double>(cache_->size()));
   return report;
+}
+
+Result<BatchReport> BatchRunner::Run(const std::vector<BatchQuery>& queries,
+                                     spgemm::ExecContext* ctx) {
+  std::vector<Request> requests;
+  requests.reserve(queries.size());
+  for (const BatchQuery& query : queries) {
+    requests.push_back(RequestFromQuery(query));
+  }
+  SPNET_ASSIGN_OR_RETURN(const ExecutionReport report,
+                         Execute(requests, ctx));
+  return BatchReportFromExecution(report);
 }
 
 }  // namespace engine

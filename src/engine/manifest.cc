@@ -28,8 +28,10 @@ bool LooksLikeFile(const std::string& source) {
          EndsWith(source, ".mtx") || EndsWith(source, ".spnb");
 }
 
-Result<sparse::CsrMatrix> LoadSource(const std::string& source,
-                                     const ManifestLoadOptions& options) {
+}  // namespace
+
+Result<sparse::CsrMatrix> LoadManifestSource(
+    const std::string& source, const ManifestLoadOptions& options) {
   if (LooksLikeFile(source)) {
     return EndsWith(source, ".spnb") ? sparse::ReadBinary(source)
                                      : sparse::ReadMatrixMarket(source);
@@ -39,8 +41,6 @@ Result<sparse::CsrMatrix> LoadSource(const std::string& source,
   return datasets::MaterializeCached(spec, options.scale,
                                      options.dataset_cache_dir, options.seed);
 }
-
-}  // namespace
 
 Result<std::vector<ManifestEntry>> ParseManifest(const std::string& content) {
   std::vector<ManifestEntry> entries;
@@ -79,15 +79,16 @@ Result<std::vector<ManifestEntry>> ParseManifest(const std::string& content) {
   return entries;
 }
 
-Result<std::vector<BatchQuery>> BuildQueries(
+Result<std::vector<Request>> BuildRequests(
     const std::vector<ManifestEntry>& entries,
-    const ManifestLoadOptions& options) {
+    const ManifestLoadOptions& options, const std::string& tenant,
+    int priority) {
   std::map<std::string, std::shared_ptr<const sparse::CsrMatrix>> loaded;
-  std::vector<BatchQuery> queries;
+  std::vector<Request> requests;
   for (const ManifestEntry& entry : entries) {
     auto it = loaded.find(entry.source);
     if (it == loaded.end()) {
-      auto m = LoadSource(entry.source, options);
+      auto m = LoadManifestSource(entry.source, options);
       if (!m.ok()) {
         return Status(m.status().code(), "manifest source '" + entry.source +
                                              "': " + m.status().message());
@@ -98,23 +99,31 @@ Result<std::vector<BatchQuery>> BuildQueries(
                .first;
     }
     for (int64_t k = 0; k < entry.repeat; ++k) {
-      BatchQuery q;
-      q.id = entry.source + ":" + entry.algorithm + "#" + std::to_string(k);
-      q.a = it->second;
-      q.algorithm = entry.algorithm;
       // The CLI option keeps its historical "<= 0 disables deadlines"
-      // contract; only a positive value becomes a per-query budget (0 on a
-      // BatchQuery now means "born expired").
-      q.deadline_ms = options.deadline_ms > 0.0 ? options.deadline_ms
-                                                : BatchQuery::kInheritDeadline;
-      queries.push_back(std::move(q));
+      // contract; only a positive value becomes a per-request budget (0 on
+      // a Request now means "born expired").
+      SPNET_ASSIGN_OR_RETURN(
+          Request request,
+          RequestBuilder()
+              .Id(entry.source + ":" + entry.algorithm + "#" +
+                  std::to_string(k))
+              .Tenant(tenant)
+              .Priority(priority)
+              .Algorithm(entry.algorithm)
+              .DeadlineMs(options.deadline_ms > 0.0
+                              ? options.deadline_ms
+                              : Request::kInheritDeadline)
+              .OperandA(it->second)
+              .Build());
+      requests.push_back(std::move(request));
     }
   }
-  return queries;
+  return requests;
 }
 
-Result<std::vector<BatchQuery>> LoadManifest(
-    const std::string& path, const ManifestLoadOptions& options) {
+Result<std::vector<Request>> LoadManifestRequests(
+    const std::string& path, const ManifestLoadOptions& options,
+    const std::string& tenant, int priority) {
   std::ifstream file(path);
   if (!file) {
     return Status::IoError("cannot open manifest " + path);
@@ -123,7 +132,44 @@ Result<std::vector<BatchQuery>> LoadManifest(
   content << file.rdbuf();
   SPNET_ASSIGN_OR_RETURN(const std::vector<ManifestEntry> entries,
                          ParseManifest(content.str()));
-  return BuildQueries(entries, options);
+  return BuildRequests(entries, options, tenant, priority);
+}
+
+Result<std::vector<BatchQuery>> BuildQueries(
+    const std::vector<ManifestEntry>& entries,
+    const ManifestLoadOptions& options) {
+  SPNET_ASSIGN_OR_RETURN(const std::vector<Request> requests,
+                         BuildRequests(entries, options));
+  std::vector<BatchQuery> queries;
+  queries.reserve(requests.size());
+  for (const Request& request : requests) {
+    BatchQuery q;
+    q.id = request.id;
+    q.a = request.a;
+    q.b = request.b;
+    q.algorithm = request.algorithm;
+    q.deadline_ms = request.deadline_ms;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+Result<std::vector<BatchQuery>> LoadManifest(
+    const std::string& path, const ManifestLoadOptions& options) {
+  SPNET_ASSIGN_OR_RETURN(const std::vector<Request> requests,
+                         LoadManifestRequests(path, options));
+  std::vector<BatchQuery> queries;
+  queries.reserve(requests.size());
+  for (const Request& request : requests) {
+    BatchQuery q;
+    q.id = request.id;
+    q.a = request.a;
+    q.b = request.b;
+    q.algorithm = request.algorithm;
+    q.deadline_ms = request.deadline_ms;
+    queries.push_back(std::move(q));
+  }
+  return queries;
 }
 
 }  // namespace engine

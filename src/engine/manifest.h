@@ -50,15 +50,39 @@ struct ManifestLoadOptions {
   double deadline_ms = 0.0;
 };
 
-/// Expands manifest entries into BatchQuery objects: each distinct source
-/// is loaded or generated exactly once and shared across its repeats.
-/// Query ids are "<source>:<algorithm>#<k>". Fails if any source cannot be
-/// loaded — a missing input is a manifest error, not a per-query one.
+/// Loads one manifest source: a path (recognized by a '/' or a .mtx/.spnb
+/// extension) reads from disk; anything else resolves as a Table II
+/// dataset name through the registry, scaled/seeded/cached per `options`.
+/// Shared by manifest expansion and the serve MatrixStore so "what a
+/// source means" has one definition.
+[[nodiscard]] Result<sparse::CsrMatrix> LoadManifestSource(
+    const std::string& source, const ManifestLoadOptions& options);
+
+/// Expands manifest entries into engine::Request objects: each distinct
+/// source is loaded or generated exactly once and shared across its
+/// repeats. Request ids are "<source>:<algorithm>#<k>"; every request
+/// carries `tenant` and `priority` (the manifest text format has no
+/// per-line tenant column — a manifest is one tenant's batch). Fails if
+/// any source cannot be loaded — a missing input is a manifest error, not
+/// a per-request one.
+[[nodiscard]] Result<std::vector<Request>> BuildRequests(
+    const std::vector<ManifestEntry>& entries,
+    const ManifestLoadOptions& options, const std::string& tenant = "batch",
+    int priority = 0);
+
+/// ParseManifest + BuildRequests over a manifest file on disk.
+[[nodiscard]] Result<std::vector<Request>> LoadManifestRequests(
+    const std::string& path, const ManifestLoadOptions& options,
+    const std::string& tenant = "batch", int priority = 0);
+
+/// Legacy adapters over BuildRequests/LoadManifestRequests, kept for
+/// pre-Request callers.
+SPNET_DEPRECATED("use BuildRequests")
 [[nodiscard]] Result<std::vector<BatchQuery>> BuildQueries(
     const std::vector<ManifestEntry>& entries,
     const ManifestLoadOptions& options);
 
-/// ParseManifest + BuildQueries over a manifest file on disk.
+SPNET_DEPRECATED("use LoadManifestRequests")
 [[nodiscard]] Result<std::vector<BatchQuery>> LoadManifest(
     const std::string& path, const ManifestLoadOptions& options);
 

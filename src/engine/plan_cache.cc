@@ -14,14 +14,33 @@ size_t PlanKeyHash::operator()(const PlanKey& k) const {
   return static_cast<size_t>(h);
 }
 
+PlanCache::PlanCache(size_t capacity, size_t shards) : capacity_(capacity) {
+  if (shards < 1) shards = 1;
+  if (capacity > 0 && shards > capacity) shards = capacity;
+  if (capacity == 0) shards = 1;  // a single empty shard keeps paths uniform
+  shards_.reserve(shards);
+  const size_t base = capacity / shards;
+  const size_t remainder = capacity % shards;
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(base + (i < remainder ? 1 : 0)));
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const PlanKey& key) {
+  // Reuse the index hash; the shard pick must be stable per key so a key
+  // always lands in the same shard.
+  return *shards_[PlanKeyHash{}(key) % shards_.size()];
+}
+
 std::shared_ptr<const spgemm::SpGemmPlan> PlanCache::Lookup(
     const PlanKey& key, spgemm::ExecContext* ctx) {
+  Shard& shard = ShardFor(key);
   {
-    MutexLock lock(&mu_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
+    MutexLock lock(&shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
       // Refresh recency: splice the entry to the front of the LRU list.
-      lru_.splice(lru_.begin(), lru_, it->second);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
       spgemm::AddCounter(ctx, "engine.plan_cache.hit", 1);
       return it->second->second;
@@ -37,35 +56,42 @@ std::shared_ptr<const spgemm::SpGemmPlan> PlanCache::Insert(
   auto shared =
       std::make_shared<const spgemm::SpGemmPlan>(std::move(plan));
   if (capacity_ == 0) return shared;
-  MutexLock lock(&mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(&shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     // Concurrent planners can race to insert the same key; keep the newer
     // plan (they are equivalent) and refresh recency.
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     it->second->second = shared;
     return shared;
   }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
     spgemm::AddCounter(ctx, "engine.plan_cache.evict", 1);
   }
-  lru_.emplace_front(key, shared);
-  index_.emplace(key, lru_.begin());
+  shard.lru.emplace_front(key, shared);
+  shard.index.emplace(key, shard.lru.begin());
   return shared;
 }
 
 void PlanCache::Clear() {
-  MutexLock lock(&mu_);
-  lru_.clear();
-  index_.clear();
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
 }
 
 size_t PlanCache::size() const {
-  MutexLock lock(&mu_);
-  return lru_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
 }
 
 }  // namespace engine

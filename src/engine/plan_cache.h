@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -47,6 +48,20 @@ struct PlanKeyHash {
 /// to simulation — the amortizable cost that dominates spGEMM latency on
 /// power-law graphs.
 ///
+/// Sharding: the capacity can be split across `shards` independent LRU
+/// shards, each with its own mutex, selected by the key's hash. Under
+/// concurrent tenants every shard serializes only 1/N of the traffic, so
+/// lock contention shrinks with the shard count while the external
+/// interface — and the hit/miss/eviction accounting — stays exactly that
+/// of one logical cache. The counters are process-global atomics
+/// aggregated across shards, and the engine.plan_cache.{hit,miss,evict}
+/// counters recorded on an ExecContext likewise sum over all shards, so
+/// existing consumers (BatchReport deltas, BENCH_engine_batch.json,
+/// engine_test) read identical semantics whatever the shard count.
+/// Recency is per shard: eviction removes the least-recently-used entry of
+/// the full shard, which approximates global LRU the way any sharded cache
+/// does. The default of one shard preserves exact global LRU order.
+///
 /// Plans are shared immutably (shared_ptr<const SpGemmPlan>), so a hit is
 /// one map lookup plus a refcount bump and entries stay valid even if
 /// evicted while a query is still simulating them.
@@ -57,9 +72,12 @@ struct PlanKeyHash {
 /// tests and the CLI summary line).
 class PlanCache {
  public:
-  /// `capacity` is the max number of cached plans; 0 disables caching
-  /// (every Lookup misses, Insert is a no-op).
-  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+  /// `capacity` is the max number of cached plans across all shards; 0
+  /// disables caching (every Lookup misses, Insert is a no-op). `shards`
+  /// is clamped to [1, capacity] so every shard owns at least one entry;
+  /// the per-shard capacity is capacity/shards with the remainder spread
+  /// over the first shards.
+  explicit PlanCache(size_t capacity, size_t shards = 1);
 
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
@@ -69,9 +87,9 @@ class PlanCache {
   std::shared_ptr<const spgemm::SpGemmPlan> Lookup(
       const PlanKey& key, spgemm::ExecContext* ctx = nullptr);
 
-  /// Inserts (or replaces) the plan for `key`, evicting the
-  /// least-recently-used entry when full. Returns the shared form of the
-  /// inserted plan.
+  /// Inserts (or replaces) the plan for `key`, evicting the shard's
+  /// least-recently-used entry when the shard is full. Returns the shared
+  /// form of the inserted plan.
   std::shared_ptr<const spgemm::SpGemmPlan> Insert(
       const PlanKey& key, spgemm::SpGemmPlan plan,
       spgemm::ExecContext* ctx = nullptr);
@@ -79,6 +97,8 @@ class PlanCache {
   void Clear();
 
   size_t capacity() const { return capacity_; }
+  size_t shards() const { return shards_.size(); }
+  /// Entries currently cached, summed over all shards.
   size_t size() const;
 
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -90,12 +110,21 @@ class PlanCache {
  private:
   using Entry = std::pair<PlanKey, std::shared_ptr<const spgemm::SpGemmPlan>>;
 
+  /// One independent LRU cache; selected by key hash.
+  struct Shard {
+    explicit Shard(size_t cap) : capacity(cap) {}
+    const size_t capacity;
+    Mutex mu;
+    /// Most recently used at the front; eviction pops the back.
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash>
+        index GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(const PlanKey& key);
+
   const size_t capacity_;
-  mutable Mutex mu_;
-  /// Most recently used at the front; eviction pops the back.
-  std::list<Entry> lru_ GUARDED_BY(mu_);
-  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index_
-      GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};

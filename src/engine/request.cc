@@ -1,0 +1,35 @@
+#include "engine/request.h"
+
+namespace spnet {
+namespace engine {
+
+Status ValidateSchemaVersion(int schema_version) {
+  if (schema_version == kRequestSchemaVersion) return Status::Ok();
+  return Status::InvalidArgument(
+      "unsupported request schema_version " + std::to_string(schema_version) +
+      " (this binary speaks version " +
+      std::to_string(kRequestSchemaVersion) + ")");
+}
+
+Result<Request> RequestBuilder::Build() const {
+  SPNET_RETURN_IF_ERROR(ValidateSchemaVersion(request_.schema_version));
+  if (request_.id.empty()) {
+    return Status::InvalidArgument("request has no id");
+  }
+  if (request_.a == nullptr) {
+    return Status::InvalidArgument("request '" + request_.id +
+                                   "' has no A operand");
+  }
+  if (request_.algorithm.empty()) {
+    return Status::InvalidArgument("request '" + request_.id +
+                                   "' has an empty algorithm name");
+  }
+  Request request = request_;
+  if (request.deadline_ms < 0.0) {
+    request.deadline_ms = Request::kInheritDeadline;
+  }
+  return request;
+}
+
+}  // namespace engine
+}  // namespace spnet

@@ -57,6 +57,46 @@ int64_t Histogram::BucketUpperBound(int i) {
   return (int64_t{1} << i) - 1;
 }
 
+double Histogram::Percentile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Snapshot the buckets once; concurrent Observe calls may land between
+  // loads, which skews the estimate by at most the in-flight observations
+  // — acceptable for a monitoring read.
+  int64_t counts[kBuckets];
+  int64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  // 1-based rank of the q-quantile observation (nearest-rank definition).
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(total) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  const double exact_min = static_cast<double>(min());
+  const double exact_max = static_cast<double>(max());
+  int64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    cumulative += counts[i];
+    if (cumulative < rank) continue;
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(int64_t{1} << (i - 1));
+    const double upper = static_cast<double>(BucketUpperBound(i));
+    // Position of the rank inside this bucket, at the midpoint of its
+    // 1/count slice so a single-entry bucket lands mid-range.
+    const int64_t before = cumulative - counts[i];
+    const double position = (static_cast<double>(rank - before) - 0.5) /
+                            static_cast<double>(counts[i]);
+    double value = lower + position * (upper - lower);
+    if (value < exact_min) value = exact_min;
+    if (value > exact_max) value = exact_max;
+    return value;
+  }
+  return exact_max;  // unreachable: rank <= total
+}
+
 Registry::Entry* Registry::FindOrCreate(const std::string& name, Kind kind) {
   auto it = entries_.find(name);
   if (it != entries_.end()) {

@@ -66,6 +66,15 @@ class Histogram {
   /// Inclusive upper bound of bucket i (2^i - 1; bucket 0 holds only 0).
   static int64_t BucketUpperBound(int i);
 
+  /// Estimates the q-quantile (q in [0, 1], e.g. 0.5 / 0.99 / 0.999) from
+  /// the log2 buckets: the target rank's bucket is located exactly, then
+  /// the value is interpolated linearly inside the bucket's [lower, upper]
+  /// range (and clamped to the exact observed min/max, which tightens the
+  /// first and last buckets). Worst-case error is therefore under one
+  /// bucket width — a factor of 2 — which is the resolution the serving
+  /// layer's latency percentiles are specified at. Returns 0 when empty.
+  double Percentile(double q) const;
+
  private:
   std::atomic<int64_t> buckets_[kBuckets] = {};
   std::atomic<int64_t> count_{0};

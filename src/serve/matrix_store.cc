@@ -1,0 +1,75 @@
+#include "serve/matrix_store.h"
+
+#include <utility>
+
+namespace spnet {
+namespace serve {
+
+Result<std::map<std::string, MatrixStore::Entry>::iterator>
+MatrixStore::LoadLocked(const std::string& source) {
+  auto loaded = engine::LoadManifestSource(source, options_.load);
+  if (!loaded.ok()) {
+    return Status(loaded.status().code(),
+                  "source '" + source + "': " + loaded.status().message());
+  }
+  Entry entry;
+  entry.matrix = std::make_shared<const sparse::CsrMatrix>(
+      std::move(loaded).value());
+  return entries_.emplace(source, std::move(entry)).first;
+}
+
+Status MatrixStore::Pin(const std::string& source) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(source);
+  if (it == entries_.end()) {
+    SPNET_ASSIGN_OR_RETURN(it, LoadLocked(source));
+  } else if (!it->second.is_pinned) {
+    lru_.erase(it->second.lru_pos);
+  } else {
+    return Status::Ok();  // already pinned
+  }
+  it->second.is_pinned = true;
+  ++pinned_count_;
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const sparse::CsrMatrix>> MatrixStore::Get(
+    const std::string& source) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(source);
+  if (it != entries_.end()) {
+    if (!it->second.is_pinned && it->second.lru_pos != lru_.begin()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    }
+    return it->second.matrix;
+  }
+  SPNET_ASSIGN_OR_RETURN(it, LoadLocked(source));
+  lru_.push_front(source);
+  it->second.lru_pos = lru_.begin();
+  std::shared_ptr<const sparse::CsrMatrix> matrix = it->second.matrix;
+  while (lru_.size() > options_.capacity) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  return matrix;
+}
+
+size_t MatrixStore::size() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+size_t MatrixStore::pinned() const {
+  MutexLock lock(&mu_);
+  return pinned_count_;
+}
+
+int64_t MatrixStore::evictions() const {
+  MutexLock lock(&mu_);
+  return evictions_;
+}
+
+}  // namespace serve
+}  // namespace spnet

@@ -1,0 +1,93 @@
+#ifndef SPNET_SERVE_MATRIX_STORE_H_
+#define SPNET_SERVE_MATRIX_STORE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "engine/manifest.h"
+#include "sparse/csr_matrix.h"
+
+namespace spnet {
+namespace serve {
+
+/// Thread-safe store of loaded matrices keyed by manifest source name
+/// (Table II dataset or .mtx/.spnb path), shared immutably with every
+/// request that names the same source.
+///
+/// Two tiers:
+///  - Pinned (hot) sources are preloaded via Pin() at daemon startup and
+///    never evicted — the serving equivalent of keeping the working set
+///    resident, so steady-state traffic on known-hot graphs never pays a
+///    load.
+///  - Everything else loads on first use and ages out of a small LRU once
+///    more than `capacity` unpinned sources are resident.
+///
+/// Loads happen under the store lock: concurrent first-touch loads of
+/// distinct cold sources serialize. That is deliberate simplicity — the
+/// daemon pins its hot set up front, so cold loads are the rare path, and
+/// serializing them also deduplicates concurrent loads of the same source
+/// for free.
+class MatrixStore {
+ public:
+  struct Options {
+    /// How sources are materialized (scale/seed/dataset cache).
+    engine::ManifestLoadOptions load;
+    /// Max unpinned resident sources; 0 means unpinned sources are
+    /// dropped after every Get (degenerate but valid). Pinned sources do
+    /// not count against this.
+    size_t capacity = 8;
+  };
+
+  explicit MatrixStore(Options options) : options_(std::move(options)) {}
+
+  MatrixStore(const MatrixStore&) = delete;
+  MatrixStore& operator=(const MatrixStore&) = delete;
+
+  /// Loads `source` now and pins it for the store's lifetime. Pinning an
+  /// already-resident source promotes it out of the LRU. Errors are the
+  /// loader's (a bad pin list should fail daemon startup, not the first
+  /// request).
+  [[nodiscard]] Status Pin(const std::string& source);
+
+  /// Returns the matrix for `source`, loading it on first use.
+  [[nodiscard]] Result<std::shared_ptr<const sparse::CsrMatrix>> Get(
+      const std::string& source);
+
+  /// Resident sources (pinned + unpinned).
+  size_t size() const;
+  size_t pinned() const;
+  /// Unpinned loads evicted so far.
+  int64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const sparse::CsrMatrix> matrix;
+    bool is_pinned = false;
+    /// Position in lru_; meaningful only when !is_pinned.
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Loads and inserts `source` (which must not be resident). Caller
+  /// holds the lock for the whole load — see class comment.
+  Result<std::map<std::string, Entry>::iterator> LoadLocked(
+      const std::string& source) REQUIRES(mu_);
+
+  const Options options_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  /// Unpinned sources, most recently used first.
+  std::list<std::string> lru_ GUARDED_BY(mu_);
+  size_t pinned_count_ GUARDED_BY(mu_) = 0;
+  int64_t evictions_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace serve
+}  // namespace spnet
+
+#endif  // SPNET_SERVE_MATRIX_STORE_H_

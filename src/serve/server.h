@@ -1,0 +1,174 @@
+#ifndef SPNET_SERVE_SERVER_H_
+#define SPNET_SERVE_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/timer.h"
+#include "common/token_bucket.h"
+#include "engine/batch_runner.h"
+#include "engine/request.h"
+#include "metrics/registry.h"
+#include "serve/matrix_store.h"
+#include "serve/wire.h"
+
+namespace spnet {
+namespace serve {
+
+/// Per-tenant admission rate: a token bucket of `capacity` burst refilled
+/// at `refill_per_sec`. capacity <= 0 means unlimited (no quota).
+struct TenantQuota {
+  double capacity = 0.0;
+  double refill_per_sec = 0.0;
+};
+
+struct ServeOptions {
+  /// Worker threads executing requests. Each worker owns a private
+  /// BatchRunner (a runner's algorithm memo is not thread-safe); all
+  /// runners share one plan cache.
+  int workers = 2;
+  /// Admission-control bound: requests beyond this many queued are
+  /// rejected with kResourceExhausted instead of queued.
+  size_t queue_capacity = 64;
+  /// Quota for tenants without an explicit entry. Default: unlimited.
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Engine knobs (fallback algorithm, device, default deadline, plan
+  /// cache capacity). plan_cache_shards below overrides the engine's
+  /// shard knob; shared_plan_cache must be unset (the server wires its
+  /// own).
+  engine::BatchOptions engine;
+  /// Lock shards of the shared plan cache. Serving traffic hits the cache
+  /// from every worker at once, so the default trades exact global LRU
+  /// for 8-way reduced contention.
+  size_t plan_cache_shards = 8;
+  /// Matrix resolution (dataset scale/seed/cache + resident LRU bound).
+  MatrixStore::Options store;
+  /// Sources preloaded and pinned at Start(); a load failure fails
+  /// Start() rather than the first unlucky request.
+  std::vector<std::string> pinned_sources;
+};
+
+/// Multi-tenant serving front end over engine::BatchRunner.
+///
+/// Life cycle: construct → Start() → Submit()/SubmitWire() from any
+/// thread → BeginDrain() (stop admitting) → Drain() (finish queued and
+/// in-flight work, stop workers). The destructor drains if the caller did
+/// not.
+///
+/// Admission control, in order, for every Submit:
+///   1. draining             → kFailedPrecondition  (serve.rejected.draining)
+///   2. malformed request    → kInvalidArgument     (serve.rejected.invalid)
+///   3. serve.admit fault    → injected code        (serve.rejected.injected)
+///   4. tenant token bucket  → kResourceExhausted   (serve.rejected.quota)
+///   5. bounded queue full   → kResourceExhausted   (serve.rejected.queue_full)
+/// A rejected Submit returns the error and never invokes the callback —
+/// transports turn the status into an error response line themselves.
+///
+/// Admitted requests are queued with their Request::priority (higher
+/// drains first, FIFO within a class) and executed by a worker, which then
+/// invokes the callback on the worker thread. Callbacks must be
+/// thread-safe and cheap; the daemon's writes one response line under an
+/// output mutex.
+///
+/// Observability: serve.* counters (admitted/completed/failed plus the
+/// per-reason rejections above, and per-tenant mirrors under
+/// serve.tenant.<tenant>.*), serve.queue_depth gauge, and log2 histograms
+/// serve.queue_us / serve.exec_us / serve.latency_us (admission to
+/// callback). StatsJson() snapshots everything plus
+/// p50/p99/p999 latency percentiles and plan-cache / matrix-store state.
+class Server {
+ public:
+  using Callback = std::function<void(const engine::Response&)>;
+
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Pins hot sources and starts the worker threads. Call exactly once.
+  [[nodiscard]] Status Start();
+
+  /// Admission control + enqueue (see class comment). The request must
+  /// have been built by RequestBuilder (Submit re-validates the
+  /// invariants it can check cheaply).
+  [[nodiscard]] Status Submit(engine::Request request, Callback done);
+
+  /// Resolves `wire.source` through the MatrixStore, builds the Request,
+  /// and Submits it.
+  [[nodiscard]] Status SubmitWire(const WireRequest& wire, Callback done);
+
+  /// Stops admitting (Submit fails with kFailedPrecondition) and closes
+  /// the queue. Queued and in-flight requests still complete. Idempotent.
+  void BeginDrain();
+
+  /// BeginDrain() + wait for every queued and in-flight request to finish
+  /// and the workers to exit. Idempotent; safe from any non-worker
+  /// thread.
+  void Drain();
+
+  bool draining() const { return draining_.load(); }
+
+  /// Requests currently queued (excludes in-flight).
+  size_t queue_depth() const { return queue_.size(); }
+  /// Requests admitted but not yet completed (queued + executing).
+  int64_t in_flight() const { return in_flight_.load(); }
+
+  MatrixStore& matrix_store() { return store_; }
+  engine::PlanCache& plan_cache() { return *plan_cache_; }
+  metrics::Registry& registry() { return registry_; }
+  const ServeOptions& options() const { return options_; }
+
+  /// One JSON document with the registry dump, latency percentiles
+  /// (p50/p99/p999 of serve.latency_us and serve.exec_us), and
+  /// plan-cache / matrix-store summaries. This is what the daemon flushes
+  /// on drain.
+  std::string StatsJson();
+
+ private:
+  struct Job {
+    engine::Request request;
+    Callback done;
+    double admit_seconds = 0.0;
+  };
+
+  void WorkerLoop();
+  TokenBucket& BucketFor(const std::string& tenant);
+  void CountRejection(const std::string& reason, const std::string& tenant);
+
+  ServeOptions options_;
+  std::shared_ptr<engine::PlanCache> plan_cache_;
+  MatrixStore store_;
+  metrics::Registry registry_;
+  /// Process-lifetime monotonic clock: token-bucket refill timestamps and
+  /// latency measurements share one origin.
+  Timer clock_;
+  BoundedQueue<Job> queue_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int64_t> in_flight_{0};
+
+  Mutex workers_mu_;
+  std::vector<std::thread> workers_ GUARDED_BY(workers_mu_);
+
+  Mutex buckets_mu_;
+  std::map<std::string, std::unique_ptr<TokenBucket>> buckets_
+      GUARDED_BY(buckets_mu_);
+};
+
+}  // namespace serve
+}  // namespace spnet
+
+#endif  // SPNET_SERVE_SERVER_H_

@@ -1,0 +1,51 @@
+#ifndef SPNET_SERVE_WIRE_H_
+#define SPNET_SERVE_WIRE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/request.h"
+
+namespace spnet {
+namespace serve {
+
+/// Decoded form of one request line of the spnet_serve wire protocol:
+/// newline-delimited JSON, one flat object per request, e.g.
+///
+///   {"id":"q1","tenant":"t0","source":"as-caida",
+///    "algorithm":"reorganizer","priority":1,"deadline_ms":250.0}
+///
+/// `source` names the matrix the way a batch manifest does (Table II
+/// dataset name or .mtx/.spnb path); the daemon resolves it through its
+/// MatrixStore, which is why the wire type is distinct from
+/// engine::Request (that one carries the loaded matrix). Unknown keys are
+/// ignored so additive schema evolution does not break older daemons;
+/// `schema_version` guards the non-additive kind.
+struct WireRequest {
+  int schema_version = engine::kRequestSchemaVersion;
+  std::string id;
+  std::string tenant = "default";
+  int priority = 0;
+  double deadline_ms = engine::Request::kInheritDeadline;
+  std::string source;
+  std::string algorithm = "reorganizer";
+};
+
+/// Parses one request line. The parser accepts exactly the flat-object
+/// subset the protocol emits — string/number/bool/null scalar values, no
+/// nested containers — and reports InvalidArgument with a position for
+/// anything else, so a malformed line yields an error response instead of
+/// a wedged stream. Requires non-empty "id" and "source"; rejects unknown
+/// schema_version.
+[[nodiscard]] Result<WireRequest> ParseRequestLine(const std::string& line);
+
+/// Serializes one response line (no trailing newline): the Response's
+/// measurement fields plus "ok"/"code"/"message" for the status. The
+/// daemon emits exactly one such line per admitted request, plus one for
+/// every rejected request (admission errors surface as ok=false lines).
+std::string SerializeResponse(const engine::Response& response);
+
+}  // namespace serve
+}  // namespace spnet
+
+#endif  // SPNET_SERVE_WIRE_H_

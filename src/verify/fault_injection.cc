@@ -42,9 +42,12 @@ Result<StatusCode> ParseCode(const std::string& token) {
   if (token == "oom" || token == "out-of-range") {
     return StatusCode::kOutOfRange;
   }
+  if (token == "exhausted" || token == "resource-exhausted") {
+    return StatusCode::kResourceExhausted;
+  }
   return Status::InvalidArgument("fault spec: unknown status code '" + token +
                                  "' (want internal|io|invalid|unavailable|"
-                                 "oom)");
+                                 "oom|exhausted)");
 }
 
 }  // namespace

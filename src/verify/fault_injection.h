@@ -21,6 +21,10 @@ inline constexpr char kSiteLoaderRead[] = "sparse.loader.read";
 inline constexpr char kSitePlan[] = "spgemm.plan";
 inline constexpr char kSiteCompute[] = "spgemm.compute";
 inline constexpr char kSiteChatAlloc[] = "core.chat.alloc";
+/// serve::Server admission control: an armed site rejects the request
+/// before quota/queue checks, exercising the rejection path
+/// deterministically.
+inline constexpr char kSiteServeAdmit[] = "serve.admit";
 
 /// Process-wide deterministic fault injector.
 ///

@@ -164,6 +164,94 @@ TEST(PlanCacheTest, RecordsCountersOnContext) {
   EXPECT_EQ(snapshot.at("engine.plan_cache.evict"), 1);
 }
 
+TEST(PlanCacheTest, ShardedCacheAggregatesCountersGlobally) {
+  // 4 shards, capacity 8: per-shard LRU, but hits/misses/evictions must
+  // aggregate across shards so BENCH_engine_batch.json consumers see the
+  // same totals a single-shard cache reports.
+  PlanCache cache(8, /*shards=*/4);
+  EXPECT_EQ(cache.shards(), 4u);
+  for (uint64_t i = 0; i < 8; ++i) {
+    const PlanKey k{i + 1, i + 1, "x", 0};
+    EXPECT_EQ(cache.Lookup(k), nullptr);  // miss
+    cache.Insert(k, DummyPlan(static_cast<int64_t>(i)));
+    EXPECT_NE(cache.Lookup(k), nullptr);  // hit
+  }
+  EXPECT_EQ(cache.misses(), 8);
+  EXPECT_EQ(cache.hits(), 8);
+  // Keys hash unevenly across shards, so a hot shard may already have
+  // evicted; the books must still balance globally.
+  EXPECT_EQ(cache.size(),
+            8u - static_cast<size_t>(cache.evictions()));
+  // Push enough new keys to overflow every shard's share of the capacity.
+  for (uint64_t i = 100; i < 132; ++i) {
+    cache.Insert(PlanKey{i, i, "x", 0}, DummyPlan(1));
+  }
+  EXPECT_GT(cache.evictions(), 0);
+  // Shards never grow past the distributed capacity, and every insert is
+  // either resident or evicted.
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_EQ(cache.size(), 40u - static_cast<size_t>(cache.evictions()));
+}
+
+TEST(PlanCacheTest, SingleShardKeepsExactGlobalLru) {
+  // The default shard count must preserve the exact global LRU order the
+  // legacy tests (LruEvictionOrder above) rely on.
+  PlanCache cache(2);
+  EXPECT_EQ(cache.shards(), 1u);
+}
+
+// -------------------------------------------------------------- request API
+
+TEST(RequestBuilderTest, BuildsValidatedRequests) {
+  const auto m = SharedSkewed(64, 16, 3);
+  auto request = RequestBuilder()
+                     .Id("r1")
+                     .Tenant("team-a")
+                     .Priority(2)
+                     .DeadlineMs(125.0)
+                     .Algorithm("reorganizer")
+                     .OperandA(m)
+                     .Build();
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->schema_version, kRequestSchemaVersion);
+  EXPECT_EQ(request->id, "r1");
+  EXPECT_EQ(request->tenant, "team-a");
+  EXPECT_EQ(request->priority, 2);
+  EXPECT_DOUBLE_EQ(request->deadline_ms, 125.0);
+  EXPECT_EQ(request->a.get(), m.get());
+}
+
+TEST(RequestBuilderTest, RejectsIncompleteRequests) {
+  const auto m = SharedSkewed(64, 16, 3);
+  EXPECT_EQ(RequestBuilder().OperandA(m).Build().status().code(),
+            StatusCode::kInvalidArgument);  // no id
+  EXPECT_EQ(RequestBuilder().Id("r").Build().status().code(),
+            StatusCode::kInvalidArgument);  // no A matrix
+  EXPECT_EQ(RequestBuilder().Id("r").OperandA(m).Algorithm("").Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // empty algorithm
+}
+
+TEST(RequestBuilderTest, NegativeDeadlineNormalizesToInherit) {
+  const auto m = SharedSkewed(64, 16, 3);
+  auto request =
+      RequestBuilder().Id("r").OperandA(m).DeadlineMs(-5.0).Build();
+  ASSERT_TRUE(request.ok());
+  EXPECT_DOUBLE_EQ(request->deadline_ms, Request::kInheritDeadline);
+}
+
+TEST(RequestApiTest, ExecuteRejectsWrongSchemaVersion) {
+  const auto m = SharedSkewed(64, 16, 3);
+  auto request = RequestBuilder().Id("r").OperandA(m).Build();
+  ASSERT_TRUE(request.ok());
+  request->schema_version = 99;
+  BatchRunner runner(BatchOptions{});
+  auto report = runner.Execute({*request});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
 // --------------------------------------------------------------- batch runner
 
 std::vector<BatchQuery> RepeatedQueries(
@@ -171,6 +259,7 @@ std::vector<BatchQuery> RepeatedQueries(
     const std::string& algorithm) {
   std::vector<BatchQuery> queries;
   for (int i = 0; i < n; ++i) {
+    // spnet-lint: allow(legacy-batch-query) -- legacy-adapter coverage
     BatchQuery q;
     q.id = "q" + std::to_string(i);
     q.a = m;
@@ -178,6 +267,30 @@ std::vector<BatchQuery> RepeatedQueries(
     queries.push_back(std::move(q));
   }
   return queries;
+}
+
+TEST(RequestApiTest, LegacyRunAdapterMatchesExecute) {
+  // The deprecated BatchQuery surface must be a pure adapter: same
+  // engine, same measurements, translated report shape.
+  const auto m = SharedSkewed(150, 48, 5);
+  BatchRunner modern(BatchOptions{});
+  BatchRunner legacy(BatchOptions{});
+
+  auto request =
+      RequestBuilder().Id("q0").Algorithm("reorganizer").OperandA(m).Build();
+  ASSERT_TRUE(request.ok());
+  auto execution = modern.Execute({*request});
+  auto report = legacy.Run(RepeatedQueries(m, 1, "reorganizer"));
+  ASSERT_TRUE(execution.ok() && report.ok());
+  ASSERT_EQ(execution->responses.size(), 1u);
+  ASSERT_EQ(report->results.size(), 1u);
+  const Response& r = execution->responses[0];
+  const QueryResult& q = report->results[0];
+  EXPECT_EQ(q.id, r.id);
+  EXPECT_DOUBLE_EQ(q.sim_ms, r.sim_ms);
+  EXPECT_EQ(q.flops, r.flops);
+  EXPECT_EQ(q.output_nnz, r.output_nnz);
+  EXPECT_EQ(report->succeeded, execution->succeeded);
 }
 
 TEST(BatchRunnerTest, CacheHitShortCircuitsPlanning) {
@@ -344,6 +457,7 @@ TEST(BatchRunnerTest, EmptyBatchIsOk) {
 
 TEST(BatchRunnerTest, MissingMatrixIsInvalidArgument) {
   BatchRunner runner(BatchOptions{});
+  // spnet-lint: allow(legacy-batch-query) -- legacy-adapter coverage
   BatchQuery q;
   q.id = "no-matrix";
   auto report = runner.Run({q});

@@ -1,0 +1,18 @@
+// Fixture: legacy-batch-query must fire on direct construction of the
+// deprecated batch-API type outside src/engine.
+
+namespace spnet {
+namespace engine {
+struct BatchQuery {
+  const char* id = nullptr;
+};
+}  // namespace engine
+
+void Demo() {
+  engine::BatchQuery query;
+  (void)query;
+  auto braced = engine::BatchQuery{};
+  (void)braced;
+}
+
+}  // namespace spnet

@@ -1,0 +1,18 @@
+// Fixture: legacy-batch-query stays quiet on non-construction mentions —
+// passing the legacy type by reference through the adapters is legal; only
+// building new instances outside src/engine is flagged.
+
+namespace spnet {
+namespace engine {
+struct BatchQuery;
+struct Request {
+  const char* id = nullptr;
+};
+Request RequestFromQuery(const BatchQuery& query);
+}  // namespace engine
+
+engine::Request Convert(const engine::BatchQuery& query) {
+  return engine::RequestFromQuery(query);
+}
+
+}  // namespace spnet

@@ -1,0 +1,17 @@
+// Fixture: legacy-batch-query honors inline suppression markers (the
+// legacy-adapter regression tests use them).
+
+namespace spnet {
+namespace engine {
+struct BatchQuery {
+  const char* id = nullptr;
+};
+}  // namespace engine
+
+void Demo() {
+  // spnet-lint: allow(legacy-batch-query)
+  engine::BatchQuery query;
+  (void)query;
+}
+
+}  // namespace spnet

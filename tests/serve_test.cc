@@ -1,0 +1,445 @@
+// Tests for the serving layer: the BoundedQueue / TokenBucket primitives,
+// histogram percentiles, the NDJSON wire codec, and the Server's
+// admission-control contract — queue-full rejection, per-tenant quota
+// exhaustion, graceful drain, deadline inheritance and the serve.admit
+// fault-injection site.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/mutex.h"
+#include "common/token_bucket.h"
+#include "engine/request.h"
+#include "metrics/registry.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "verify/fault_injection.h"
+
+namespace spnet {
+namespace serve {
+namespace {
+
+using verify::FaultInjector;
+
+/// Guarantees the process-wide injector is disarmed when a test exits,
+/// even on assertion failure.
+class InjectorGuard {
+ public:
+  InjectorGuard() { FaultInjector::Global().Reset(); }
+  ~InjectorGuard() { FaultInjector::Global().Reset(); }
+};
+
+/// Thread-safe response collector with a completion latch: server
+/// callbacks run on worker threads, tests block on WaitFor(n).
+class ResponseLog {
+ public:
+  Server::Callback Sink() {
+    return [this](const engine::Response& response) {
+      MutexLock lock(&mu_);
+      responses_.push_back(response);
+      arrived_.NotifyAll();
+    };
+  }
+
+  void WaitFor(size_t n) {
+    MutexLock lock(&mu_);
+    while (responses_.size() < n) arrived_.Wait(&mu_);
+  }
+
+  std::vector<engine::Response> Take() {
+    MutexLock lock(&mu_);
+    return responses_;
+  }
+
+ private:
+  Mutex mu_;
+  CondVar arrived_;
+  std::vector<engine::Response> responses_;
+};
+
+ServeOptions SmallServerOptions() {
+  ServeOptions options;
+  options.workers = 2;
+  options.queue_capacity = 16;
+  options.store.load.scale = 0.02;
+  return options;
+}
+
+WireRequest SmallWire(const std::string& id,
+                      const std::string& tenant = "default") {
+  WireRequest wire;
+  wire.id = id;
+  wire.tenant = tenant;
+  wire.source = "as-caida";
+  return wire;
+}
+
+// ------------------------------------------------------------ BoundedQueue
+
+TEST(BoundedQueueTest, PopsHighestPriorityFirstFifoWithinClass) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.TryPush(1, /*priority=*/0));
+  EXPECT_TRUE(queue.TryPush(2, /*priority=*/5));
+  EXPECT_TRUE(queue.TryPush(3, /*priority=*/5));
+  EXPECT_TRUE(queue.TryPush(4, /*priority=*/-1));
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);  // highest class first
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 3);  // FIFO within the class
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 4);
+}
+
+TEST(BoundedQueueTest, TryPushRejectsWhenFullWithoutBlocking) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  EXPECT_EQ(queue.size(), 2u);
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_TRUE(queue.TryPush(3));  // capacity freed
+}
+
+TEST(BoundedQueueTest, CloseDeliversQueuedItemsThenPopsFalse) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(3));  // closed to producers
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_FALSE(queue.Pop(&out));  // drained: the worker-exit signal
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&queue, &popped] {
+    int out = 0;
+    popped.store(queue.Pop(&out));
+  });
+  queue.Close();
+  consumer.join();
+  EXPECT_FALSE(popped.load());
+}
+
+// ------------------------------------------------------------- TokenBucket
+
+TEST(TokenBucketTest, ZeroRefillIsAHardCap) {
+  // refill 0 makes exhaustion deterministic — no wall clock involved.
+  TokenBucket bucket(2.0, 0.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(1e9));  // never refills
+}
+
+TEST(TokenBucketTest, RefillsAtConfiguredRateUpToCapacity) {
+  TokenBucket bucket(2.0, 1.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.5));  // only 0.5 tokens back
+  EXPECT_TRUE(bucket.TryAcquire(1.5));   // 1.5 tokens accrued
+  // Idle time past capacity does not bank extra burst.
+  EXPECT_DOUBLE_EQ(bucket.Available(100.0), 2.0);
+}
+
+TEST(TokenBucketTest, StaleTimestampCannotMintTokens) {
+  TokenBucket bucket(1.0, 1000.0);
+  EXPECT_TRUE(bucket.TryAcquire(10.0));
+  // A reader with an older clock must not be credited a negative refill
+  // or re-credited the interval.
+  EXPECT_FALSE(bucket.TryAcquire(10.0));
+  EXPECT_FALSE(bucket.TryAcquire(9.0));
+}
+
+TEST(TokenBucketTest, NonPositiveCapacityIsUnlimited) {
+  TokenBucket bucket(0.0, 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.TryAcquire(0.0));
+}
+
+// --------------------------------------------------- Histogram percentiles
+
+TEST(HistogramPercentileTest, EmptyIsZeroAndSingleValueIsExact) {
+  metrics::Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  h.Observe(42);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 42.0);
+}
+
+TEST(HistogramPercentileTest, QuantilesAreMonotoneAndClampedToMinMax) {
+  metrics::Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  const double p50 = h.Percentile(0.50);
+  const double p99 = h.Percentile(0.99);
+  const double p999 = h.Percentile(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p999, 1000.0);
+  // Log2 buckets bound the relative error to one power of two.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1023.0);
+  EXPECT_GE(p99, 512.0);
+}
+
+// -------------------------------------------------------------------- wire
+
+TEST(WireTest, ParsesEveryField) {
+  auto wire = ParseRequestLine(
+      "{\"schema_version\":1,\"id\":\"q7\",\"tenant\":\"team-a\","
+      "\"priority\":3,\"deadline_ms\":250.5,\"source\":\"as-caida\","
+      "\"algorithm\":\"row-product\"}");
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(wire->schema_version, 1);
+  EXPECT_EQ(wire->id, "q7");
+  EXPECT_EQ(wire->tenant, "team-a");
+  EXPECT_EQ(wire->priority, 3);
+  EXPECT_DOUBLE_EQ(wire->deadline_ms, 250.5);
+  EXPECT_EQ(wire->source, "as-caida");
+  EXPECT_EQ(wire->algorithm, "row-product");
+}
+
+TEST(WireTest, DefaultsAndUnknownKeysAreAdditive) {
+  auto wire = ParseRequestLine(
+      "{\"id\":\"q1\",\"source\":\"as-caida\",\"future_field\":true}");
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(wire->schema_version, engine::kRequestSchemaVersion);
+  EXPECT_EQ(wire->tenant, "default");
+  EXPECT_EQ(wire->priority, 0);
+  EXPECT_DOUBLE_EQ(wire->deadline_ms, engine::Request::kInheritDeadline);
+}
+
+TEST(WireTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("not json").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"id\":\"q\"}").ok());  // no source
+  EXPECT_FALSE(
+      ParseRequestLine("{\"source\":\"as-caida\"}").ok());  // no id
+  EXPECT_FALSE(ParseRequestLine("{\"id\":\"q\",\"source\":\"s\","
+                                "\"schema_version\":99}")
+                   .ok());
+  EXPECT_FALSE(ParseRequestLine("{\"id\":\"q\",\"source\":\"s\","
+                                "\"nested\":{\"a\":1}}")
+                   .ok());
+}
+
+TEST(WireTest, SerializeResponseCarriesStatusAndMeasurements) {
+  engine::Response response;
+  response.id = "q1";
+  response.tenant = "t0";
+  response.status = Status::DeadlineExceeded("too slow");
+  response.algorithm_used = "reorganizer";
+  response.wall_ms = 1.5;
+  const std::string line = SerializeResponse(response);
+  EXPECT_NE(line.find("\"id\":\"q1\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"tenant\":\"t0\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos) << line;
+  EXPECT_NE(line.find("DeadlineExceeded"), std::string::npos) << line;
+  EXPECT_NE(line.find("too slow"), std::string::npos) << line;
+  // One line per response: embedded newlines would corrupt the stream.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Server
+
+TEST(ServerTest, ExecutesRequestsAndHitsSharedPlanCache) {
+  Server server(SmallServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ResponseLog log;
+  ASSERT_TRUE(server.SubmitWire(SmallWire("q1"), log.Sink()).ok());
+  log.WaitFor(1);
+  ASSERT_TRUE(server.SubmitWire(SmallWire("q2"), log.Sink()).ok());
+  log.WaitFor(2);
+  server.Drain();
+
+  const auto responses = log.Take();
+  ASSERT_EQ(responses.size(), 2u);
+  for (const engine::Response& r : responses) {
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.algorithm_used, "reorganizer");
+    EXPECT_GT(r.sim_ms, 0.0);
+  }
+  // q2 reused q1's plan through the shared cache.
+  EXPECT_FALSE(responses[0].plan_cache_hit);
+  EXPECT_TRUE(responses[1].plan_cache_hit);
+  EXPECT_EQ(server.plan_cache().hits(), 1);
+}
+
+TEST(ServerTest, QuotaExhaustionRejectsWithResourceExhausted) {
+  ServeOptions options = SmallServerOptions();
+  options.default_quota.capacity = 2.0;
+  options.default_quota.refill_per_sec = 0.0;  // deterministic: never refills
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ResponseLog log;
+  ASSERT_TRUE(server.SubmitWire(SmallWire("q1", "capped"), log.Sink()).ok());
+  ASSERT_TRUE(server.SubmitWire(SmallWire("q2", "capped"), log.Sink()).ok());
+  const Status third =
+      server.SubmitWire(SmallWire("q3", "capped"), log.Sink());
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(third.message().find("quota"), std::string::npos)
+      << third.ToString();
+  // Quotas are per tenant: another tenant is unaffected by the default
+  // bucket being drained for "capped" only.
+  ASSERT_TRUE(server.SubmitWire(SmallWire("q4", "other"), log.Sink()).ok());
+  log.WaitFor(3);  // the two admitted + the other tenant's
+  server.Drain();
+  const auto snapshot = server.registry().Snapshot();
+  EXPECT_EQ(snapshot.at("serve.rejected.quota"), 1);
+  EXPECT_EQ(snapshot.at("serve.tenant.capped.rejected"), 1);
+  EXPECT_EQ(snapshot.at("serve.tenant.capped.admitted"), 2);
+}
+
+TEST(ServerTest, FullQueueRejectsWithResourceExhausted) {
+  ServeOptions options = SmallServerOptions();
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Stall the single worker inside the first request's callback so the
+  // queue state is deterministic: q2 occupies the only slot, q3 must be
+  // rejected without blocking.
+  Mutex mu;
+  CondVar cv;
+  bool in_callback = false;
+  bool release = false;
+  ASSERT_TRUE(server
+                  .SubmitWire(SmallWire("q1"),
+                              [&](const engine::Response&) {
+                                MutexLock lock(&mu);
+                                in_callback = true;
+                                cv.NotifyAll();
+                                while (!release) cv.Wait(&mu);
+                              })
+                  .ok());
+  {
+    MutexLock lock(&mu);
+    while (!in_callback) cv.Wait(&mu);
+  }
+  ResponseLog log;
+  ASSERT_TRUE(server.SubmitWire(SmallWire("q2"), log.Sink()).ok());
+  const Status third = server.SubmitWire(SmallWire("q3"), log.Sink());
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(third.message().find("queue full"), std::string::npos)
+      << third.ToString();
+  {
+    MutexLock lock(&mu);
+    release = true;
+    cv.NotifyAll();
+  }
+  log.WaitFor(1);
+  server.Drain();
+  EXPECT_EQ(server.registry().Snapshot().at("serve.rejected.queue_full"), 1);
+}
+
+TEST(ServerTest, DrainCompletesInFlightAndRejectsNewWork) {
+  Server server(SmallServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ResponseLog log;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        server.SubmitWire(SmallWire("q" + std::to_string(i)), log.Sink())
+            .ok());
+  }
+  server.BeginDrain();
+  const Status late = server.SubmitWire(SmallWire("late"), log.Sink());
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  server.Drain();
+  // Every admitted request completed; the late one never ran.
+  const auto responses = log.Take();
+  ASSERT_EQ(responses.size(), 6u);
+  for (const engine::Response& r : responses) {
+    EXPECT_TRUE(r.status.ok()) << r.id << ": " << r.status.ToString();
+  }
+  EXPECT_EQ(server.in_flight(), 0);
+  const auto snapshot = server.registry().Snapshot();
+  EXPECT_EQ(snapshot.at("serve.completed"), 6);
+  EXPECT_EQ(snapshot.at("serve.rejected.draining"), 1);
+}
+
+TEST(ServerTest, DeadlineInheritsEngineDefaultThroughRequest) {
+  ServeOptions options = SmallServerOptions();
+  options.engine.default_deadline_ms = 1e-6;  // expires at the first check
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ResponseLog log;
+  // kInheritDeadline (the wire default) picks up the engine default...
+  ASSERT_TRUE(server.SubmitWire(SmallWire("inherit"), log.Sink()).ok());
+  // ...while an explicit generous per-request budget overrides it.
+  WireRequest generous = SmallWire("explicit");
+  generous.deadline_ms = 1e9;
+  ASSERT_TRUE(server.SubmitWire(generous, log.Sink()).ok());
+  log.WaitFor(2);
+  server.Drain();
+  for (const engine::Response& r : log.Take()) {
+    if (r.id == "inherit") {
+      EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+          << r.status.ToString();
+    } else {
+      EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    }
+  }
+}
+
+TEST(ServerTest, AdmitFaultInjectionRejectsAtTheAdmissionGate) {
+  InjectorGuard guard;
+  Server server(SmallServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  FaultInjector::Global().Arm(verify::kSiteServeAdmit, /*first=*/1,
+                              /*count=*/1, StatusCode::kResourceExhausted);
+  ResponseLog log;
+  const Status injected = server.SubmitWire(SmallWire("q1"), log.Sink());
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.code(), StatusCode::kResourceExhausted);
+  // The window closed: the next submit is admitted normally.
+  ASSERT_TRUE(server.SubmitWire(SmallWire("q2"), log.Sink()).ok());
+  log.WaitFor(1);
+  server.Drain();
+  EXPECT_EQ(server.registry().Snapshot().at("serve.rejected.injected"), 1);
+}
+
+TEST(ServerTest, UnknownSourceIsRejectedAtSubmit) {
+  Server server(SmallServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ResponseLog log;
+  WireRequest wire = SmallWire("q1");
+  wire.source = "no-such-dataset";
+  const Status s = server.SubmitWire(wire, log.Sink());
+  ASSERT_FALSE(s.ok());
+  server.Drain();
+  EXPECT_EQ(server.registry().Snapshot().at("serve.rejected.source"), 1);
+}
+
+TEST(ServerTest, SubmitBeforeStartFailsAndStartPinsSources) {
+  ServeOptions options = SmallServerOptions();
+  options.pinned_sources.push_back("as-caida");
+  Server server(options);
+  ResponseLog log;
+  EXPECT_FALSE(server.SubmitWire(SmallWire("early"), log.Sink()).ok());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.matrix_store().pinned(), 1u);
+  server.Drain();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace spnet

@@ -160,14 +160,17 @@ TEST(FaultInjectionBatchTest, AllPlansFailingDegradesToFallbackWithError) {
   FaultInjector::Global().Arm(verify::kSitePlan, 1, 0);
 
   engine::BatchRunner runner(engine::BatchOptions{});
-  engine::BatchQuery query;
-  query.id = "q0";
-  query.a = std::make_shared<const CsrMatrix>(SmallMatrix());
-  query.algorithm = "reorganizer";
-  const auto report = runner.Run({query});
+  auto request =
+      engine::RequestBuilder()
+          .Id("q0")
+          .Algorithm("reorganizer")
+          .OperandA(std::make_shared<const CsrMatrix>(SmallMatrix()))
+          .Build();
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  const auto report = runner.Execute({*request});
   ASSERT_TRUE(report.ok());
-  ASSERT_EQ(report->results.size(), 1u);
-  const engine::QueryResult& r = report->results[0];
+  ASSERT_EQ(report->responses.size(), 1u);
+  const engine::Response& r = report->responses[0];
   EXPECT_FALSE(r.status.ok());
   EXPECT_TRUE(r.fallback_used);
   EXPECT_NE(r.status.message().find("injected fault"), std::string::npos);
@@ -182,13 +185,16 @@ TEST(FaultInjectionBatchTest, SinglePlanFaultRecoversOnFallback) {
   FaultInjector::Global().Arm(verify::kSitePlan, 1, 1);
 
   engine::BatchRunner runner(engine::BatchOptions{});
-  engine::BatchQuery query;
-  query.id = "q0";
-  query.a = std::make_shared<const CsrMatrix>(SmallMatrix());
-  query.algorithm = "reorganizer";
-  const auto report = runner.Run({query});
+  auto request =
+      engine::RequestBuilder()
+          .Id("q0")
+          .Algorithm("reorganizer")
+          .OperandA(std::make_shared<const CsrMatrix>(SmallMatrix()))
+          .Build();
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  const auto report = runner.Execute({*request});
   ASSERT_TRUE(report.ok());
-  const engine::QueryResult& r = report->results[0];
+  const engine::Response& r = report->responses[0];
   EXPECT_TRUE(r.status.ok()) << r.status.ToString();
   EXPECT_TRUE(r.fallback_used);
   EXPECT_EQ(r.algorithm_used, "outer-product");

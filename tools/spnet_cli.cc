@@ -279,10 +279,10 @@ int CmdBatch(const FlagParser& flags) {
   load.dataset_cache_dir = flags.GetString("cache", "");
   load.deadline_ms = flags.GetDouble("deadline_ms", 0.0);
   const int load_span = ctx.trace.Begin("load");
-  auto queries = engine::LoadManifest(manifest, load);
+  auto requests = engine::LoadManifestRequests(manifest, load);
   ctx.trace.End(load_span);
-  if (!queries.ok()) return Fail(queries.status());
-  if (queries->empty()) {
+  if (!requests.ok()) return Fail(requests.status());
+  if (requests->empty()) {
     return Fail(Status::InvalidArgument(manifest + " contains no queries"));
   }
 
@@ -299,9 +299,9 @@ int CmdBatch(const FlagParser& flags) {
   engine::BatchRunner runner(std::move(options));
 
   const int64_t repeats = std::max<int64_t>(1, flags.GetInt("repeats", 1));
-  engine::BatchReport report;
+  engine::ExecutionReport report;
   for (int64_t pass = 0; pass < repeats; ++pass) {
-    auto r = runner.Run(*queries, &ctx);
+    auto r = runner.Execute(*requests, &ctx);
     if (!r.ok()) return Fail(r.status());
     report = std::move(r).value();
     std::printf(
@@ -309,7 +309,7 @@ int CmdBatch(const FlagParser& flags) {
         "expired %lld, fallbacks %lld | plan cache: %lld hit, %lld miss, "
         "%lld evicted\n",
         static_cast<long long>(pass + 1), static_cast<long long>(repeats),
-        queries->size(), report.wall_ms,
+        requests->size(), report.wall_ms,
         static_cast<long long>(report.succeeded),
         static_cast<long long>(report.failed),
         static_cast<long long>(report.deadline_expired),
@@ -321,7 +321,7 @@ int CmdBatch(const FlagParser& flags) {
 
   metrics::Table table(
       {"query", "algorithm", "status", "plan", "sim ms", "GFLOPS", "wall ms"});
-  for (const engine::QueryResult& r : report.results) {
+  for (const engine::Response& r : report.responses) {
     table.AddRow({r.id,
                   r.algorithm_used.empty() ? "-" : r.algorithm_used,
                   r.status.ok() ? "ok" : StatusCodeName(r.status.code()),
@@ -331,7 +331,7 @@ int CmdBatch(const FlagParser& flags) {
                   metrics::FormatDouble(r.wall_ms, 3)});
   }
   std::printf("last pass results:\n%s", table.ToString().c_str());
-  for (const engine::QueryResult& r : report.results) {
+  for (const engine::Response& r : report.responses) {
     if (!r.status.ok()) {
       std::printf("  %s: %s\n", r.id.c_str(), r.status.ToString().c_str());
     }
@@ -414,14 +414,20 @@ int CmdVerify(const FlagParser& flags) {
       return Fail(c.status());
     }
     engine::BatchRunner runner(engine::BatchOptions{});
-    engine::BatchQuery query;
-    query.id = "fault-demo";
-    query.a = std::make_shared<const CsrMatrix>(std::move(c->a));
-    query.algorithm = "reorganizer";
-    auto run = runner.Run({query});
+    auto request = engine::RequestBuilder()
+                       .Id("fault-demo")
+                       .Algorithm("reorganizer")
+                       .OperandA(std::make_shared<const CsrMatrix>(
+                           std::move(c->a)))
+                       .Build();
+    if (!request.ok()) {
+      injector.Reset();
+      return Fail(request.status());
+    }
+    auto run = runner.Execute({*request});
     injector.Reset();
     if (!run.ok()) return Fail(run.status());
-    const engine::QueryResult& r = run->results[0];
+    const engine::Response& r = run->responses[0];
     const bool demo_ok = !r.status.ok() && r.fallback_used;
     std::printf("fault injection (%s armed): fallback_used=%s, status=%s\n",
                 verify::kSitePlan, r.fallback_used ? "true" : "false",
