@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cmath>
+#include <utility>
 #include <vector>
 
+#include "spgemm/nnz_estimator.h"
 #include "spgemm/workload_model.h"
 
 namespace spnet {
@@ -17,8 +19,31 @@ Result<ReorganizerConfig> AutoTune(const sparse::CsrMatrix& a,
   if (a.cols() != b.rows()) {
     return Status::InvalidArgument("dimension mismatch in AutoTune");
   }
-  const spgemm::Workload workload = spgemm::BuildWorkload(a, b);
   ReorganizerConfig config;
+  // Cheap tier first: thresholds are population quantiles, which the
+  // sampled estimator's point workload approximates well when enough of
+  // the mass was observed exactly. Only a low-confidence sample pays for
+  // the exact precalculation.
+  spgemm::Workload tiered;
+  bool estimated = false;
+  if (options.try_estimated_first) {
+    spgemm::EstimatorOptions estimator;
+    estimator.sample_fraction = options.estimator_sample_fraction;
+    spgemm::EstimatedWorkload est =
+        spgemm::BuildWorkloadEstimated(a, b, estimator);
+    if (est.confidence >= options.min_estimate_confidence) {
+      tiered = std::move(est.workload);
+      estimated = true;
+    }
+  }
+  if (!estimated) {
+    tiered = spgemm::BuildWorkload(a, b);
+  }
+  const spgemm::Workload& workload = tiered;
+  if (estimated) {
+    config.planning_tier = PlanningTier::kEstimated;
+    config.estimator_sample_fraction = options.estimator_sample_fraction;
+  }
   if (workload.flops == 0) {
     return config;
   }

@@ -7,6 +7,7 @@
 #include "core/b_limiting.h"
 #include "spgemm/algorithm_registry.h"
 #include "spgemm/exec_context.h"
+#include "spgemm/nnz_estimator.h"
 #include "spgemm/plan.h"
 #include "verify/fault_injection.h"
 
@@ -97,24 +98,61 @@ KernelDesc BuildPreprocessKernel(const Workload& workload, int64_t nnz_a) {
 
 }  // namespace
 
-Result<SpGemmPlan> BlockReorganizerSpGemm::PlanImpl(
-    const CsrMatrix& a, const CsrMatrix& b, const gpusim::DeviceSpec& device,
-    spgemm::ExecContext* ctx) const {
-  if (a.cols() != b.rows()) {
-    return Status::InvalidArgument(
-        "dimension mismatch in Block Reorganizer plan");
-  }
-  const Workload workload = [&] {
-    metrics::ScopedSpan span(spgemm::TraceOf(ctx), "build-workload");
-    return spgemm::BuildWorkload(a, b);
-  }();
-  const Classification classes = Classify(workload, config_, ctx);
+spgemm::EstimatorOptions EstimatorFromConfig(const ReorganizerConfig& config) {
+  spgemm::EstimatorOptions options;
+  options.sample_fraction = config.estimator_sample_fraction;
+  return options;
+}
 
+BlockReorganizerSpGemm::Prepared BlockReorganizerSpGemm::PrepareWorkload(
+    const CsrMatrix& a, const CsrMatrix& b, spgemm::ExecContext* ctx) const {
+  Prepared prep;
+  if (config_.planning_tier != PlanningTier::kExact) {
+    spgemm::EstimatedWorkload est =
+        spgemm::BuildWorkloadEstimated(a, b, EstimatorFromConfig(config_), ctx);
+    prep.classes = ClassifyEstimated(&est, a, b, config_, ctx);
+    prep.confidence = est.confidence;
+    if (config_.planning_tier == PlanningTier::kEstimated ||
+        prep.confidence >= config_.min_plan_confidence) {
+      prep.workload = std::move(est.workload);
+      return prep;
+    }
+    // kAuto below the confidence floor: rebuild exactly.
+    spgemm::AddCounter(ctx, "reorganizer.tier_fallback_exact", 1);
+  }
+  prep.workload = [&] {
+    metrics::ScopedSpan span(spgemm::TraceOf(ctx), "build-workload");
+    return spgemm::BuildWorkload(a, b, ctx);
+  }();
+  prep.classes = Classify(prep.workload, config_, ctx);
+  prep.confidence = 1.0;
+  return prep;
+}
+
+Classification BlockReorganizerSpGemm::ClassifyTiered(
+    const CsrMatrix& a, const CsrMatrix& b, const Workload& exact,
+    spgemm::ExecContext* ctx) const {
+  if (config_.planning_tier != PlanningTier::kExact) {
+    spgemm::EstimatedWorkload est =
+        spgemm::BuildWorkloadEstimated(a, b, EstimatorFromConfig(config_), ctx);
+    Classification classes = ClassifyEstimated(&est, a, b, config_, ctx);
+    if (config_.planning_tier == PlanningTier::kEstimated ||
+        est.confidence >= config_.min_plan_confidence) {
+      return classes;
+    }
+  }
+  return Classify(exact, config_, ctx);
+}
+
+SpGemmPlan BlockReorganizerSpGemm::BuildPlanKernels(
+    const Workload& workload, const Classification& classes,
+    const gpusim::DeviceSpec& device, int64_t nnz_a,
+    spgemm::ExecContext* ctx) const {
   SpGemmPlan plan;
   plan.flops = workload.flops;
   plan.output_nnz = workload.output_nnz;
 
-  plan.kernels.push_back(BuildPreprocessKernel(workload, a.nnz()));
+  plan.kernels.push_back(BuildPreprocessKernel(workload, nnz_a));
 
   // --- Expansion: dominator kernel (split or not). --------------------------
   KernelDesc dominators;
@@ -207,17 +245,38 @@ Result<SpGemmPlan> BlockReorganizerSpGemm::PlanImpl(
   return plan;
 }
 
+Result<SpGemmPlan> BlockReorganizerSpGemm::PlanImpl(
+    const CsrMatrix& a, const CsrMatrix& b, const gpusim::DeviceSpec& device,
+    spgemm::ExecContext* ctx) const {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(
+        "dimension mismatch in Block Reorganizer plan");
+  }
+  const Prepared prep = PrepareWorkload(a, b, ctx);
+  SpGemmPlan plan =
+      BuildPlanKernels(prep.workload, prep.classes, device, a.nnz(), ctx);
+  plan.confidence = prep.confidence;
+  return plan;
+}
+
 Result<CsrMatrix> BlockReorganizerSpGemm::ComputeImpl(
     const CsrMatrix& a, const CsrMatrix& b, spgemm::ExecContext* ctx) const {
   if (a.cols() != b.rows()) {
     return Status::InvalidArgument(
         "dimension mismatch in Block Reorganizer compute");
   }
+  // The exact workload always backs execution: relocation cursors and
+  // expansion ranges index real buffers, so an estimate must never size
+  // them. The planning tier only chooses where the *classes* come from —
+  // scheduling fidelity with the estimated plan, at zero correctness risk
+  // (an estimated class can reorder expansion, never drop a product:
+  // every pair with work is provably inside some bin, see
+  // ClassifyEstimated).
   const Workload workload = [&] {
     metrics::ScopedSpan span(spgemm::TraceOf(ctx), "build-workload");
-    return spgemm::BuildWorkload(a, b);
+    return spgemm::BuildWorkload(a, b, ctx);
   }();
-  const Classification classes = Classify(workload, config_, ctx);
+  const Classification classes = ClassifyTiered(a, b, workload, ctx);
   const gpusim::DeviceSpec device = gpusim::DeviceSpec::TitanXp();
   const SplitPlan split =
       config_.enable_splitting
@@ -349,11 +408,9 @@ Result<ReorganizerReport> BlockReorganizerSpGemm::Analyze(
     return Status::InvalidArgument("dimension mismatch in Analyze");
   }
   metrics::ScopedSpan span(spgemm::TraceOf(ctx), "analyze:" + name());
-  const Workload workload = [&] {
-    metrics::ScopedSpan inner(spgemm::TraceOf(ctx), "build-workload");
-    return spgemm::BuildWorkload(a, b);
-  }();
-  const Classification classes = Classify(workload, config_, ctx);
+  const Prepared prep = PrepareWorkload(a, b, ctx);
+  const Workload& workload = prep.workload;
+  const Classification& classes = prep.classes;
 
   ReorganizerReport report;
   report.dominators = static_cast<int64_t>(classes.dominators.size());
@@ -412,6 +469,13 @@ void RegisterCoreAlgorithms() {
     gathering_only.enable_splitting = false;
     gathering_only.enable_limiting = false;
     add("reorganizer-gathering", gathering_only, "B-Gathering");
+
+    // Full reorganizer planned from the sampled estimation tier; the
+    // differential sweep covers it like any other registered algorithm,
+    // proving the estimated classes never change results.
+    ReorganizerConfig estimated;
+    estimated.planning_tier = PlanningTier::kEstimated;
+    add("reorganizer-estimated", estimated, "Estimated-Planning");
     return true;
   }();
   (void)registered;

@@ -2,11 +2,31 @@
 #define SPNET_CORE_REORGANIZER_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 
 namespace spnet {
 namespace core {
+
+/// How the planner precalculates the C-hat workload before classifying.
+///   * kExact: the paper's full block-wise + row-wise precalculation.
+///   * kEstimated: sampled estimation (spgemm::BuildWorkloadEstimated) with
+///     per-entry exact fallback only where a confidence band straddles a
+///     classification threshold — the OCEAN-style cheap tier.
+///   * kAuto: estimated first; rebuilt exactly when the resulting plan
+///     confidence falls below `min_plan_confidence`.
+enum class PlanningTier {
+  kExact = 0,
+  kEstimated = 1,
+  kAuto = 2,
+};
+
+/// Canonical flag spelling ("exact" | "estimated" | "auto").
+const char* PlanningTierName(PlanningTier tier);
+
+/// Inverse of PlanningTierName; InvalidArgument on unknown spellings.
+Result<PlanningTier> ParsePlanningTier(const std::string& name);
 
 /// Tuning knobs of the Block Reorganizer (Section IV of the paper). The
 /// defaults reproduce the paper's configuration; the per-technique enables
@@ -43,10 +63,24 @@ struct ReorganizerConfig {
   /// Thread block size for expansion and merge kernels.
   int block_size = 256;
 
+  /// Which precalculation tier Plan/Analyze use (see PlanningTier).
+  /// Compute always executes against the exact workload; the tier only
+  /// chooses how classification inputs are obtained.
+  PlanningTier planning_tier = PlanningTier::kExact;
+
+  /// Fraction of A's rows the estimated tier scans exactly (the sampled
+  /// rows anchor the confidence bands). Must be in (0, 1].
+  double estimator_sample_fraction = 0.05;
+
+  /// Below this plan confidence the kAuto tier falls back to exact
+  /// precalculation. Must be in [0, 1].
+  double min_plan_confidence = 0.5;
+
   /// Checks the knobs are usable before an algorithm is built around
   /// them: alpha/beta strictly positive, splitting_factor_override zero
   /// (heuristic) or a power of two, limiting_extra_shmem non-negative,
-  /// block_size a positive multiple of the 32-lane warp.
+  /// block_size a positive multiple of the 32-lane warp, the estimator
+  /// fraction in (0, 1] and the confidence floor in [0, 1].
   /// MakeBlockReorganizer and AutoTune refuse invalid configs with this
   /// Status instead of silently running with nonsense thresholds.
   Status Validate() const;

@@ -136,6 +136,15 @@ Histogram* Registry::GetHistogram(const std::string& name) {
   return entry == nullptr ? nullptr : entry->histogram.get();
 }
 
+const Histogram* Registry::FindHistogram(const std::string& name) const {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kHistogram) {
+    return nullptr;
+  }
+  return it->second.histogram.get();
+}
+
 void Registry::AddCounter(const std::string& name, int64_t delta) {
   if (Counter* c = GetCounter(name)) c->Add(delta);
 }

@@ -98,6 +98,12 @@ class Registry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  /// Non-creating lookup for read-only paths (stats dumps): returns the
+  /// histogram, or nullptr when the name is absent or registered as a
+  /// different kind. Unlike GetHistogram, never materializes an empty
+  /// instrument as a side effect of reading.
+  const Histogram* FindHistogram(const std::string& name) const;
+
   /// Convenience wrappers tolerating kind collisions (no-op then).
   void AddCounter(const std::string& name, int64_t delta);
   void SetGauge(const std::string& name, double value);

@@ -33,6 +33,36 @@ Status MatrixStore::Pin(const std::string& source) {
   return Status::Ok();
 }
 
+Status MatrixStore::Unpin(const std::string& source) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(source);
+  if (it == entries_.end()) {
+    return Status::NotFound("source '" + source + "' is not resident");
+  }
+  if (!it->second.is_pinned) {
+    return Status::FailedPrecondition("source '" + source +
+                                      "' is not pinned");
+  }
+  it->second.is_pinned = false;
+  --pinned_count_;
+  lru_.push_front(source);
+  it->second.lru_pos = lru_.begin();
+  // The demoted entry now counts against the LRU bound; if the unpinned
+  // tier was already full, something (possibly this entry, when capacity
+  // is 0) ages out right away.
+  EvictToCapacityLocked();
+  return Status::Ok();
+}
+
+void MatrixStore::EvictToCapacityLocked() {
+  while (lru_.size() > options_.capacity) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
 Result<std::shared_ptr<const sparse::CsrMatrix>> MatrixStore::Get(
     const std::string& source) {
   MutexLock lock(&mu_);
@@ -47,12 +77,7 @@ Result<std::shared_ptr<const sparse::CsrMatrix>> MatrixStore::Get(
   lru_.push_front(source);
   it->second.lru_pos = lru_.begin();
   std::shared_ptr<const sparse::CsrMatrix> matrix = it->second.matrix;
-  while (lru_.size() > options_.capacity) {
-    const std::string victim = lru_.back();
-    lru_.pop_back();
-    entries_.erase(victim);
-    ++evictions_;
-  }
+  EvictToCapacityLocked();
   return matrix;
 }
 

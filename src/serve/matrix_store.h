@@ -55,6 +55,14 @@ class MatrixStore {
   /// request).
   [[nodiscard]] Status Pin(const std::string& source);
 
+  /// Demotes a pinned source back into the unpinned LRU tier, as the most
+  /// recently used entry. The matrix stays resident until it ages out
+  /// normally (an unpin can trigger immediate evictions when the LRU was
+  /// already at capacity — the demoted entry now counts against it).
+  /// NotFound when the source is not resident; FailedPrecondition when
+  /// resident but not pinned.
+  [[nodiscard]] Status Unpin(const std::string& source);
+
   /// Returns the matrix for `source`, loading it on first use.
   [[nodiscard]] Result<std::shared_ptr<const sparse::CsrMatrix>> Get(
       const std::string& source);
@@ -77,6 +85,9 @@ class MatrixStore {
   /// holds the lock for the whole load — see class comment.
   Result<std::map<std::string, Entry>::iterator> LoadLocked(
       const std::string& source) REQUIRES(mu_);
+
+  /// Evicts from the LRU tail until it fits `capacity`.
+  void EvictToCapacityLocked() REQUIRES(mu_);
 
   const Options options_;
   mutable Mutex mu_;

@@ -14,7 +14,8 @@ Server::Server(ServeOptions options)
                       ? options_.engine.shared_plan_cache
                       : std::make_shared<engine::PlanCache>(
                             options_.engine.plan_cache_capacity,
-                            options_.plan_cache_shards)),
+                            options_.plan_cache_shards,
+                            options_.engine.plan_min_confidence)),
       store_(options_.store),
       queue_(options_.queue_capacity) {
   // Every worker's runner joins the server-wide cache, so one worker's
@@ -226,13 +227,24 @@ std::string Server::StatsJson() {
   w.Key("latency_percentiles").BeginObject();
   for (const char* name : {"serve.queue_us", "serve.exec_us",
                            "serve.latency_us"}) {
-    metrics::Histogram* h = registry_.GetHistogram(name);
+    // FindHistogram, not GetHistogram: a stats read must not materialize
+    // empty instruments. A histogram that exists but has no observations
+    // yet reports null percentiles — a 0.0 here would read as "everything
+    // completed instantly" to a dashboard.
+    const metrics::Histogram* h = registry_.FindHistogram(name);
     if (h == nullptr) continue;
+    const int64_t count = h->count();
     w.Key(name).BeginObject();
-    w.Key("count").Int(h->count());
-    w.Key("p50").Double(h->Percentile(0.50));
-    w.Key("p99").Double(h->Percentile(0.99));
-    w.Key("p999").Double(h->Percentile(0.999));
+    w.Key("count").Int(count);
+    if (count == 0) {
+      w.Key("p50").Null();
+      w.Key("p99").Null();
+      w.Key("p999").Null();
+    } else {
+      w.Key("p50").Double(h->Percentile(0.50));
+      w.Key("p99").Double(h->Percentile(0.99));
+      w.Key("p999").Double(h->Percentile(0.999));
+    }
     w.EndObject();
   }
   w.EndObject();
@@ -243,6 +255,8 @@ std::string Server::StatsJson() {
   w.Key("hits").Int(plan_cache_->hits());
   w.Key("misses").Int(plan_cache_->misses());
   w.Key("evictions").Int(plan_cache_->evictions());
+  w.Key("reject_low_confidence").Int(plan_cache_->rejected_low_confidence());
+  w.Key("min_confidence").Double(plan_cache_->min_confidence());
   w.EndObject();
   w.Key("matrix_store").BeginObject();
   w.Key("resident").Int(static_cast<int64_t>(store_.size()));

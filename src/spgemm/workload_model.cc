@@ -5,6 +5,7 @@
 
 #include "common/math_util.h"
 #include "common/parallel.h"
+#include "spgemm/exec_context.h"
 #include "spgemm/plan.h"
 
 namespace spnet {
@@ -18,7 +19,19 @@ using sparse::Index;
 using sparse::Offset;
 using sparse::SpanView;
 
-Workload BuildWorkload(const CsrMatrix& a, const CsrMatrix& b) {
+namespace {
+
+/// Chunk partial for the saturating reductions: the accumulated value plus
+/// how many accumulations saturated inside the chunk.
+struct SatPartial {
+  int64_t value = 0;
+  int64_t saturations = 0;
+};
+
+}  // namespace
+
+Workload BuildWorkload(const CsrMatrix& a, const CsrMatrix& b,
+                       ExecContext* ctx) {
   Workload w;
   ThreadPool& pool = GlobalThreadPool();
   const int threads = pool.threads();
@@ -68,61 +81,99 @@ Workload BuildWorkload(const CsrMatrix& a, const CsrMatrix& b) {
                      return Status::Ok();
                    }));
 
+  // Products and totals saturate instead of wrapping: adversarial nnz
+  // vectors (or a saturated upstream value) must degrade to a clamped
+  // lower bound plus a counter, never to a negative workload.
+  const auto combine_sat = [](SatPartial acc, SatPartial p) {
+    bool sat = false;
+    acc.value = SatAddI64(acc.value, p.value, &sat);
+    acc.saturations += p.saturations + (sat ? 1 : 0);
+    return acc;
+  };
+
   w.pair_work.assign(static_cast<size_t>(a.cols()), 0);
-  w.flops = pool.ParallelReduce(
-      0, a.cols(), GrainForItems(a.cols(), threads), int64_t{0},
+  const SatPartial flops_total = pool.ParallelReduce(
+      0, a.cols(), GrainForItems(a.cols(), threads), SatPartial{},
       [&](int64_t begin, int64_t end, int) {
-        int64_t flops = 0;
+        SatPartial p;
+        bool sat = false;
         for (int64_t i = begin; i < end; ++i) {
           const int64_t brow =
               i < b.rows() ? w.b_row_nnz[static_cast<size_t>(i)] : 0;
-          w.pair_work[static_cast<size_t>(i)] =
-              w.a_col_nnz[static_cast<size_t>(i)] * brow;
-          flops += w.pair_work[static_cast<size_t>(i)];
+          bool pair_sat = false;
+          w.pair_work[static_cast<size_t>(i)] = SatMulI64(
+              w.a_col_nnz[static_cast<size_t>(i)], brow, &pair_sat);
+          if (pair_sat) ++p.saturations;
+          p.value = SatAddI64(p.value, w.pair_work[static_cast<size_t>(i)],
+                              &sat);
         }
-        return flops;
+        if (sat) ++p.saturations;
+        return p;
       },
-      [](int64_t acc, int64_t partial) { return acc + partial; });
+      combine_sat);
+  w.flops = flops_total.value;
+  w.saturated += flops_total.saturations;
 
   // Row-wise precalculation: nnz(C-hat) per output row.
   w.row_chat.assign(static_cast<size_t>(a.rows()), 0);
-  SPNET_CHECK_OK(pool.ParallelFor(0, a.rows(), GrainForItems(a.rows(), threads),
-                   [&](int64_t begin, int64_t end, int) {
-                     for (int64_t r = begin; r < end; ++r) {
-                       const SpanView row = a.Row(static_cast<Index>(r));
-                       int64_t f = 0;
-                       for (Offset k = 0; k < row.size; ++k) {
-                         const Index j = row.indices[k];
-                         if (j < b.rows()) {
-                           f += w.b_row_nnz[static_cast<size_t>(j)];
-                         }
-                       }
-                       w.row_chat[static_cast<size_t>(r)] = f;
-                     }
-                     return Status::Ok();
-                   }));
+  const SatPartial chat_sat = pool.ParallelReduce(
+      0, a.rows(), GrainForItems(a.rows(), threads), SatPartial{},
+      [&](int64_t begin, int64_t end, int) {
+        SatPartial p;
+        for (int64_t r = begin; r < end; ++r) {
+          const SpanView row = a.Row(static_cast<Index>(r));
+          int64_t f = 0;
+          bool sat = false;
+          for (Offset k = 0; k < row.size; ++k) {
+            const Index j = row.indices[k];
+            if (j < b.rows()) {
+              f = SatAddI64(f, w.b_row_nnz[static_cast<size_t>(j)], &sat);
+            }
+          }
+          if (sat) ++p.saturations;
+          w.row_chat[static_cast<size_t>(r)] = f;
+        }
+        return p;
+      },
+      combine_sat);
+  w.saturated += chat_sat.saturations;
 
   // Hashing estimator of the merged row sizes. Each row's estimate is
-  // independent; only the int64 total crosses rows.
+  // independent; only the int64 total crosses rows. A 0-column B would
+  // divide by zero inside the estimator (NaN rows), so it short-circuits
+  // to an all-zero estimate; every row estimate is clamped to the hard
+  // bounds [0, min(row_chat, cols)] — a merged row can never hold more
+  // entries than its intermediate population or the output width.
   const double cols = static_cast<double>(b.cols());
+  const int64_t cols_i64 = b.cols();
   w.row_c_est.assign(static_cast<size_t>(a.rows()), 0);
-  w.output_nnz = pool.ParallelReduce(
-      0, a.rows(), GrainForItems(a.rows(), threads), int64_t{0},
-      [&](int64_t begin, int64_t end, int) {
-        int64_t out = 0;
-        for (int64_t r = begin; r < end; ++r) {
-          const double f =
-              static_cast<double>(w.row_chat[static_cast<size_t>(r)]);
-          if (f <= 0.0) continue;
-          double unique = cols * (1.0 - std::exp(-f / cols));
-          unique = std::min(unique, f);
-          w.row_c_est[static_cast<size_t>(r)] =
-              std::max<int64_t>(1, static_cast<int64_t>(std::llround(unique)));
-          out += w.row_c_est[static_cast<size_t>(r)];
-        }
-        return out;
-      },
-      [](int64_t acc, int64_t partial) { return acc + partial; });
+  if (cols_i64 > 0) {
+    const SatPartial out_total = pool.ParallelReduce(
+        0, a.rows(), GrainForItems(a.rows(), threads), SatPartial{},
+        [&](int64_t begin, int64_t end, int) {
+          SatPartial p;
+          bool sat = false;
+          for (int64_t r = begin; r < end; ++r) {
+            const int64_t chat = w.row_chat[static_cast<size_t>(r)];
+            if (chat <= 0) continue;
+            const double f = static_cast<double>(chat);
+            double unique = cols * (1.0 - std::exp(-f / cols));
+            unique = std::min(unique, f);
+            int64_t est = std::max<int64_t>(
+                1, static_cast<int64_t>(std::llround(unique)));
+            est = std::min(est, std::min(chat, cols_i64));
+            est = std::max<int64_t>(est, 0);
+            w.row_c_est[static_cast<size_t>(r)] = est;
+            p.value = SatAddI64(p.value, est, &sat);
+          }
+          if (sat) ++p.saturations;
+          return p;
+        },
+        combine_sat);
+    w.output_nnz = out_total.value;
+    w.saturated += out_total.saturations;
+  }
+  if (w.saturated > 0) AddCounter(ctx, "workload.saturated", w.saturated);
   return w;
 }
 

@@ -10,6 +10,8 @@
 namespace spnet {
 namespace spgemm {
 
+struct ExecContext;
+
 /// Precomputed workload view of one A*B multiplication, shared by every
 /// algorithm's plan builder. All vectors are indexed by the inner dimension
 /// (columns of A == rows of B) or by output row as noted.
@@ -27,13 +29,20 @@ struct Workload {
   std::vector<int64_t> row_c_est;
   int64_t flops = 0;       ///< total multiplies == nnz(C-hat)
   int64_t output_nnz = 0;  ///< sum of row_c_est
+  /// Count of accumulations that saturated instead of wrapping (adversarial
+  /// nnz products overflowing int64). Zero for every realistic matrix;
+  /// non-zero values mean pair_work/row_chat/flops are lower bounds.
+  int64_t saturated = 0;
 };
 
 /// Builds the workload view. O(nnz(A) + dims). The output-row nnz uses the
 /// standard hashing estimator unique ~= cols * (1 - exp(-flops_r / cols)),
 /// which is exact in expectation for independently placed products; the
-/// estimate only shapes merge timing, never functional results.
-Workload BuildWorkload(const sparse::CsrMatrix& a, const sparse::CsrMatrix& b);
+/// estimate only shapes merge timing, never functional results. Products
+/// and sums that would overflow int64 saturate and bump the workload's
+/// `saturated` count plus the `workload.saturated` counter on `ctx`.
+Workload BuildWorkload(const sparse::CsrMatrix& a, const sparse::CsrMatrix& b,
+                       ExecContext* ctx = nullptr);
 
 /// Options controlling merge-kernel construction; B-Limiting raises
 /// `extra_shared_mem_bytes` for the long-row kernel.

@@ -164,6 +164,34 @@ TEST(PlanCacheTest, RecordsCountersOnContext) {
   EXPECT_EQ(snapshot.at("engine.plan_cache.evict"), 1);
 }
 
+TEST(PlanCacheTest, RefusesLowConfidencePlansButStillServesThem) {
+  spgemm::ExecContext ctx;
+  PlanCache cache(4, /*shards=*/1, /*min_confidence=*/0.5);
+  const PlanKey k{1, 1, "x", 0};
+  spgemm::SpGemmPlan low = DummyPlan(7);
+  low.confidence = 0.2;
+  auto served = cache.Insert(k, std::move(low), &ctx);
+  // The caller still gets its plan in shared form — rejection only means
+  // a lucky low-confidence estimate cannot become every future query's
+  // plan.
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->flops, 7);
+  EXPECT_EQ(cache.Lookup(k), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.rejected_low_confidence(), 1);
+  const auto snapshot = ctx.registry.Snapshot();
+  EXPECT_EQ(snapshot.at("engine.plan_cache.reject_low_confidence"), 1);
+
+  // At the floor is admitted; the floor is exclusive below only.
+  spgemm::SpGemmPlan confident = DummyPlan(9);
+  confident.confidence = 0.5;
+  cache.Insert(k, std::move(confident), &ctx);
+  auto hit = cache.Lookup(k);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->flops, 9);
+  EXPECT_EQ(cache.rejected_low_confidence(), 1);
+}
+
 TEST(PlanCacheTest, ShardedCacheAggregatesCountersGlobally) {
   // 4 shards, capacity 8: per-shard LRU, but hits/misses/evictions must
   // aggregate across shards so BENCH_engine_batch.json consumers see the
@@ -346,6 +374,59 @@ TEST(BatchRunnerTest, CachedResultsAgreeWithUncached) {
   auto b = uncached.Run(RepeatedQueries(m, 3, "reorganizer"));
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(b->plan_cache_hits, 0);
+  for (size_t i = 0; i < a->results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->results[i].sim_ms, b->results[i].sim_ms);
+    EXPECT_EQ(a->results[i].flops, b->results[i].flops);
+    EXPECT_EQ(a->results[i].output_nnz, b->results[i].output_nnz);
+  }
+}
+
+TEST(BatchRunnerTest, ConfidenceFloorAboveOneDisablesCachingEntirely) {
+  // plan_min_confidence above every achievable confidence (exact plans
+  // report 1.0) turns the cache into a pure reject path: every insert is
+  // refused, the warm batch re-plans, and the report surfaces the count.
+  const auto m = SharedSkewed(150, 48, 7);
+  BatchOptions options;
+  options.plan_cache_capacity = 8;
+  options.plan_min_confidence = 1.5;
+  BatchRunner runner(options);
+  std::vector<Request> requests;
+  for (int i = 0; i < 3; ++i) {
+    auto request = RequestBuilder()
+                       .Id("q" + std::to_string(i))
+                       .Algorithm("reorganizer")
+                       .OperandA(m)
+                       .Build();
+    ASSERT_TRUE(request.ok()) << request.status().ToString();
+    requests.push_back(std::move(request).value());
+  }
+  auto cold = runner.Execute(requests);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->failed, 0);
+  EXPECT_EQ(cold->plan_cache_rejected_low_confidence, 3);
+  auto warm = runner.Execute(requests);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->plan_cache_hits, 0);
+  EXPECT_EQ(warm->plan_cache_rejected_low_confidence, 3);
+}
+
+TEST(BatchRunnerTest, EstimatedTierAgreesWithExactTier) {
+  // The estimated planning tier must be an implementation detail of
+  // planning cost: simulated results and plan math match the exact tier.
+  const auto m = SharedSkewed(200, 64, 3);
+  BatchOptions exact_options;
+  BatchRunner exact(exact_options);
+  BatchOptions estimated_options;
+  estimated_options.reorganizer_config.planning_tier =
+      core::PlanningTier::kEstimated;
+  BatchRunner estimated(estimated_options);
+
+  auto a = exact.Run(RepeatedQueries(m, 2, "reorganizer"));
+  auto b = estimated.Run(RepeatedQueries(m, 2, "reorganizer"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->failed, 0);
+  EXPECT_EQ(b->failed, 0);
+  ASSERT_EQ(a->results.size(), b->results.size());
   for (size_t i = 0; i < a->results.size(); ++i) {
     EXPECT_DOUBLE_EQ(a->results[i].sim_ms, b->results[i].sim_ms);
     EXPECT_EQ(a->results[i].flops, b->results[i].flops);

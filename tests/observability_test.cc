@@ -312,6 +312,26 @@ TEST(RegistryTest, NameCollisionAcrossKindsIsDisabled) {
   EXPECT_DOUBLE_EQ(snapshot.at("x"), 0.0);
 }
 
+TEST(RegistryTest, FindHistogramIsAPureLookup) {
+  metrics::Registry registry;
+  // Absent name: null, and the probe must not materialize an empty
+  // instrument (a stats read is not an instrumentation site).
+  EXPECT_EQ(registry.FindHistogram("latency"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("latency"), nullptr);
+  EXPECT_TRUE(registry.Snapshot().empty());
+
+  registry.ObserveHistogram("latency", 42);
+  const metrics::Histogram* h = registry.FindHistogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 42.0);
+
+  // A name registered as another kind is "not a histogram", same as the
+  // GetHistogram collision contract.
+  ASSERT_NE(registry.GetCounter("hits"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("hits"), nullptr);
+}
+
 TEST(TraceRecorderTest, NestedSpanOrdering) {
   metrics::TraceRecorder trace;
   const int outer = trace.Begin("measure");

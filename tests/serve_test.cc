@@ -18,6 +18,7 @@
 #include "common/token_bucket.h"
 #include "engine/request.h"
 #include "metrics/registry.h"
+#include "serve/matrix_store.h"
 #include "serve/server.h"
 #include "serve/wire.h"
 #include "verify/fault_injection.h"
@@ -168,6 +169,23 @@ TEST(TokenBucketTest, StaleTimestampCannotMintTokens) {
 TEST(TokenBucketTest, NonPositiveCapacityIsUnlimited) {
   TokenBucket bucket(0.0, 0.0);
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.TryAcquire(0.0));
+}
+
+TEST(TokenBucketTest, TinyRefillAccruesAcrossPollsWithoutStarvation) {
+  // Regression guard: a very small refill rate polled at fine granularity
+  // must accumulate fractional tokens across calls — per-poll increments
+  // far below one token cannot be silently rounded away, or a low-rate
+  // tenant would starve forever. Powers of two keep the arithmetic exact
+  // so the assertions are deterministic.
+  TokenBucket bucket(1.0, 1.0 / 1024.0);  // ~17 minutes per token
+  EXPECT_TRUE(bucket.TryAcquire(0.0));    // drain the burst token
+  for (int i = 1; i < 1024; ++i) {
+    // Each poll refills by exactly 1/1024 of a token; none reaches 1.
+    EXPECT_FALSE(bucket.TryAcquire(static_cast<double>(i))) << "poll " << i;
+  }
+  EXPECT_TRUE(bucket.TryAcquire(1024.0));   // exactly one token accrued
+  EXPECT_FALSE(bucket.TryAcquire(1024.0));  // and it was spent whole
+  EXPECT_DOUBLE_EQ(bucket.Available(1536.0), 0.5);
 }
 
 // --------------------------------------------------- Histogram percentiles
@@ -438,6 +456,97 @@ TEST(ServerTest, SubmitBeforeStartFailsAndStartPinsSources) {
   ASSERT_TRUE(server.Start().ok());
   EXPECT_EQ(server.matrix_store().pinned(), 1u);
   server.Drain();
+}
+
+TEST(ServerTest, StatsJsonNeverZeroFillsUnobservedPercentiles) {
+  // An idle server's stats read must not materialize latency instruments
+  // (FindHistogram, not GetHistogram) and must never spell "no data yet"
+  // as 0.0 percentiles — a dashboard would read that as "instant".
+  Server server(SmallServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  const std::string cold = server.StatsJson();
+  for (const char* name :
+       {"serve.queue_us", "serve.exec_us", "serve.latency_us"}) {
+    EXPECT_EQ(cold.find(name), std::string::npos) << cold;
+  }
+  EXPECT_EQ(cold.find("p50"), std::string::npos) << cold;
+  // The read itself created nothing: a second read is identical.
+  EXPECT_EQ(server.StatsJson(), cold);
+
+  ResponseLog log;
+  ASSERT_TRUE(server.SubmitWire(SmallWire("q1"), log.Sink()).ok());
+  log.WaitFor(1);
+  server.Drain();
+  const std::string warm = server.StatsJson();
+  for (const char* name :
+       {"serve.queue_us", "serve.exec_us", "serve.latency_us"}) {
+    EXPECT_NE(warm.find(name), std::string::npos) << warm;
+  }
+  // One observation per histogram: real percentiles, no null sentinels.
+  EXPECT_NE(warm.find("p50"), std::string::npos) << warm;
+  EXPECT_EQ(warm.find("null"), std::string::npos) << warm;
+}
+
+// -------------------------------------------------------------- MatrixStore
+
+MatrixStore::Options SmallStoreOptions(size_t capacity) {
+  MatrixStore::Options options;
+  options.load.scale = 0.02;
+  options.capacity = capacity;
+  return options;
+}
+
+TEST(MatrixStoreTest, PinnedSourcesSurviveEvictionPressure) {
+  MatrixStore store(SmallStoreOptions(/*capacity=*/1));
+  ASSERT_TRUE(store.Pin("as-caida").ok());
+  // Churn unpinned sources through the capacity-1 LRU.
+  ASSERT_TRUE(store.Get("epinions").ok());
+  ASSERT_TRUE(store.Get("loc-gowalla").ok());  // evicts epinions
+  ASSERT_TRUE(store.Get("scircuit").ok());    // evicts loc-gowalla
+  EXPECT_EQ(store.evictions(), 2);
+  EXPECT_EQ(store.pinned(), 1u);
+  EXPECT_EQ(store.size(), 2u);  // the pin plus one unpinned resident
+  // The pinned source never left residency and never counted against the
+  // unpinned capacity.
+  ASSERT_TRUE(store.Get("as-caida").ok());
+  EXPECT_EQ(store.evictions(), 2);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(MatrixStoreTest, PinningResidentEntryPromotesItOutOfTheLru) {
+  MatrixStore store(SmallStoreOptions(/*capacity=*/2));
+  ASSERT_TRUE(store.Get("epinions").ok());
+  ASSERT_TRUE(store.Get("loc-gowalla").ok());
+  // epinions is the LRU tail; pinning it mid-pressure removes it from
+  // eviction candidacy entirely.
+  ASSERT_TRUE(store.Pin("epinions").ok());
+  EXPECT_EQ(store.pinned(), 1u);
+  ASSERT_TRUE(store.Get("scircuit").ok());  // fills the freed unpinned slot
+  EXPECT_EQ(store.evictions(), 0);
+  // Now the oldest unpinned entry (loc-gowalla) goes.
+  ASSERT_TRUE(store.Get("sx-mathoverflow").ok());
+  EXPECT_EQ(store.evictions(), 1);
+  EXPECT_EQ(store.size(), 3u);  // the pin + {scircuit, sx-mathoverflow}
+}
+
+TEST(MatrixStoreTest, UnpinDemotesToMruAndRestoresCapacityAccounting) {
+  MatrixStore store(SmallStoreOptions(/*capacity=*/1));
+  ASSERT_TRUE(store.Pin("epinions").ok());
+  ASSERT_TRUE(store.Get("loc-gowalla").ok());  // the single unpinned slot
+  // Demotion re-enters the LRU as most recently used; the store is now
+  // one over capacity and must evict the true tail (loc-gowalla), not
+  // the entry that was just demoted.
+  ASSERT_TRUE(store.Unpin("epinions").ok());
+  EXPECT_EQ(store.pinned(), 0u);
+  EXPECT_EQ(store.evictions(), 1);
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_TRUE(store.Get("epinions").ok());  // still resident, no reload needed
+  EXPECT_EQ(store.evictions(), 1);
+
+  // Bookkeeping errors are typed: unpinning an unpinned resident entry is
+  // a precondition failure, unpinning an absent source is NotFound.
+  EXPECT_EQ(store.Unpin("epinions").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.Unpin("absent").code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -51,6 +51,46 @@ TEST(WorkloadTest, OutputEstimateBracketsExact) {
   EXPECT_LT(w.output_nnz, exact.value() * 2);
 }
 
+TEST(WorkloadTest, ZeroColumnBProducesZeroEstimatesNotNaN) {
+  // Regression: the merge estimator cols * (1 - exp(-flops_r / cols))
+  // divided by cols; with a 0-column B it must short-circuit to zero
+  // instead of computing exp(-inf) garbage or NaN.
+  const CsrMatrix a = testing_util::SkewedMatrix(40, 20, 3);
+  sparse::CooMatrix coo_b(40, 0);
+  auto b = CsrMatrix::FromCoo(coo_b);
+  ASSERT_TRUE(b.ok());
+  const Workload w = BuildWorkload(a, *b);
+  EXPECT_EQ(w.flops, 0);
+  EXPECT_EQ(w.output_nnz, 0);
+  for (size_t r = 0; r < w.row_c_est.size(); ++r) {
+    EXPECT_EQ(w.row_c_est[r], 0) << "row " << r;
+  }
+}
+
+TEST(WorkloadTest, OneColumnBClampsRowEstimateToOne) {
+  // With one output column, every nonempty C row has exactly one
+  // reachable slot: the estimate must clamp to min(row_chat, cols) = 1,
+  // never round above it.
+  sparse::CooMatrix coo_a(30, 30);
+  sparse::CooMatrix coo_b(30, 1);
+  for (sparse::Index r = 0; r < 30; ++r) {
+    for (sparse::Index c = 0; c < 30; c += 3) coo_a.Add(r, c, 1.0);
+    coo_b.Add(r, 0, 1.0);
+  }
+  auto a = CsrMatrix::FromCoo(coo_a);
+  auto b = CsrMatrix::FromCoo(coo_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const Workload w = BuildWorkload(*a, *b);
+  int64_t total = 0;
+  for (size_t r = 0; r < w.row_c_est.size(); ++r) {
+    EXPECT_GE(w.row_c_est[r], 0) << "row " << r;
+    EXPECT_LE(w.row_c_est[r], 1) << "row " << r;
+    EXPECT_LE(w.row_c_est[r], w.row_chat[r]) << "row " << r;
+    total += w.row_c_est[r];
+  }
+  EXPECT_EQ(w.output_nnz, total);
+}
+
 TEST(MakePairBlockTest, SmallPairGetsWarp) {
   PairBlockParams p;
   p.col_nnz = 10;

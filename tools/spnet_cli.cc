@@ -13,7 +13,9 @@
 //   spnet_cli batch    --manifest queries.txt [--plan_cache 64]
 //             [--deadline_ms D] [--fallback outer-product] [--repeats N]
 //             [--scale 0.05] [--cache dir] [--device titanxp]
+//             [--planning_tier exact|estimated|auto]
 //   spnet_cli verify   [--sweep small|medium] [--seed 42]
+//             [--planning_tier exact|estimated|auto]
 //
 // verify runs the correctness harness: a differential sweep of every
 // registered algorithm against the reference spGEMM over seeded input
@@ -296,6 +298,12 @@ int CmdBatch(const FlagParser& flags) {
       flags.GetDouble("alpha", options.reorganizer_config.alpha);
   options.reorganizer_config.beta =
       flags.GetDouble("beta", options.reorganizer_config.beta);
+  if (flags.Has("planning_tier")) {
+    auto tier =
+        core::ParsePlanningTier(flags.GetString("planning_tier", "exact"));
+    if (!tier.ok()) return Fail(tier.status());
+    options.reorganizer_config.planning_tier = *tier;
+  }
   engine::BatchRunner runner(std::move(options));
 
   const int64_t repeats = std::max<int64_t>(1, flags.GetInt("repeats", 1));
@@ -361,25 +369,45 @@ int CmdVerify(const FlagParser& flags) {
   std::printf("%s\n", report->Summary().c_str());
   failed = failed || !report->ok();
 
-  // 2. Plan invariants on every ablation variant of the reorganizer.
+  // 2. Plan invariants on every ablation variant of the reorganizer, plus
+  // the estimated planning tiers (whose sweep additionally checks the
+  // estimation contract via CheckEstimatedClassification). A forced
+  // --planning_tier overrides every variant's tier — the CI estimation
+  // smoke runs the whole suite with the estimator on.
+  core::PlanningTier forced_tier = core::PlanningTier::kExact;
+  const bool force_tier = flags.Has("planning_tier");
+  if (force_tier) {
+    auto tier =
+        core::ParsePlanningTier(flags.GetString("planning_tier", "exact"));
+    if (!tier.ok()) return Fail(tier.status());
+    forced_tier = *tier;
+  }
   struct Variant {
     const char* name;
     bool split;
     bool gather;
     bool limit;
+    core::PlanningTier tier;
   };
   const Variant variants[] = {
-      {"reorganizer", true, true, true},
-      {"reorganizer-splitting", true, false, false},
-      {"reorganizer-gathering", false, true, false},
-      {"reorganizer-limiting", false, false, true},
-      {"reorganizer-none", false, false, false},
+      {"reorganizer", true, true, true, core::PlanningTier::kExact},
+      {"reorganizer-splitting", true, false, false,
+       core::PlanningTier::kExact},
+      {"reorganizer-gathering", false, true, false,
+       core::PlanningTier::kExact},
+      {"reorganizer-limiting", false, false, true,
+       core::PlanningTier::kExact},
+      {"reorganizer-none", false, false, false, core::PlanningTier::kExact},
+      {"reorganizer-estimated", true, true, true,
+       core::PlanningTier::kEstimated},
+      {"reorganizer-auto", true, true, true, core::PlanningTier::kAuto},
   };
   for (const Variant& v : variants) {
     core::ReorganizerConfig config;
     config.enable_splitting = v.split;
     config.enable_gathering = v.gather;
     config.enable_limiting = v.limit;
+    config.planning_tier = force_tier ? forced_tier : v.tier;
     Status worst = Status::Ok();
     for (const std::string& family : verify::SweepFamilyNames()) {
       for (int k = 0; k < options.cases_per_family; ++k) {

@@ -21,6 +21,7 @@
 //               [--store_capacity 8]   (unpinned resident matrices)
 //               [--scale 0.05] [--seed 42] [--cache dir]
 //               [--deadline_ms D] [--fallback outer-product]
+//               [--planning_tier exact|estimated|auto]
 //               [--device titanxp|v100|2080ti] [--threads N]
 //               [--metrics_out stats.json]
 //
@@ -37,6 +38,7 @@
 
 #include "common/flags.h"
 #include "common/mutex.h"
+#include "core/reorganizer_config.h"
 #include "common/parallel.h"
 #include "common/status.h"
 #include "engine/request.h"
@@ -92,7 +94,7 @@ gpusim::DeviceSpec DeviceFromFlags(const FlagParser& flags) {
   return gpusim::DeviceSpec::TitanXp();
 }
 
-serve::ServeOptions OptionsFromFlags(const FlagParser& flags) {
+Result<serve::ServeOptions> OptionsFromFlags(const FlagParser& flags) {
   serve::ServeOptions options;
   options.workers = static_cast<int>(flags.GetInt("workers", 2));
   options.queue_capacity =
@@ -106,6 +108,11 @@ serve::ServeOptions OptionsFromFlags(const FlagParser& flags) {
   options.engine.fallback_algorithm =
       flags.GetString("fallback", options.engine.fallback_algorithm);
   options.engine.default_deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  if (flags.Has("planning_tier")) {
+    SPNET_ASSIGN_OR_RETURN(
+        options.engine.reorganizer_config.planning_tier,
+        core::ParsePlanningTier(flags.GetString("planning_tier", "exact")));
+  }
   options.engine.device = DeviceFromFlags(flags);
   options.store.capacity = static_cast<size_t>(
       std::max<int64_t>(0, flags.GetInt("store_capacity", 8)));
@@ -134,7 +141,12 @@ int Run(int argc, char** argv) {
   SetGlobalThreadCount(static_cast<int>(flags.GetInt("threads", 0)));
   InstallSignalHandlers();
 
-  serve::Server server(OptionsFromFlags(flags));
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) {
+    std::fprintf(stderr, "error: %s\n", options.status().ToString().c_str());
+    return 2;
+  }
+  serve::Server server(std::move(options).value());
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
