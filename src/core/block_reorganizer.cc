@@ -96,6 +96,32 @@ KernelDesc BuildPreprocessKernel(const Workload& workload, int64_t nnz_a) {
   return k;
 }
 
+/// The reorder pre-pass: A's rows and B's columns are permuted by the
+/// configured strategy. The inner (contraction) dimension is left alone,
+/// so the pair set, the per-pair processing order, and every per-entry
+/// accumulation order are unchanged — output values stay bit-identical to
+/// the unpermuted baseline once the inverse permutations are applied.
+struct ReorderedInputs {
+  sparse::Permutation rows;  ///< applied to a's rows
+  sparse::Permutation cols;  ///< applied to b's columns
+  CsrMatrix a;
+  CsrMatrix b;
+};
+
+Result<ReorderedInputs> BuildReorderedInputs(const CsrMatrix& a,
+                                             const CsrMatrix& b,
+                                             sparse::ReorderStrategy strategy,
+                                             spgemm::ExecContext* ctx) {
+  metrics::ScopedSpan span(spgemm::TraceOf(ctx), "reorder");
+  ReorderedInputs out;
+  SPNET_ASSIGN_OR_RETURN(out.rows, sparse::BuildRowPermutation(a, strategy));
+  SPNET_ASSIGN_OR_RETURN(out.cols, sparse::BuildColPermutation(b, strategy));
+  SPNET_ASSIGN_OR_RETURN(out.a, out.rows.ApplyToRows(a));
+  SPNET_ASSIGN_OR_RETURN(out.b, out.cols.ApplyToCols(b));
+  spgemm::AddCounter(ctx, "reorder.applied", 1);
+  return out;
+}
+
 }  // namespace
 
 spgemm::EstimatorOptions EstimatorFromConfig(const ReorganizerConfig& config) {
@@ -252,6 +278,15 @@ Result<SpGemmPlan> BlockReorganizerSpGemm::PlanImpl(
     return Status::InvalidArgument(
         "dimension mismatch in Block Reorganizer plan");
   }
+  if (config_.reorder != sparse::ReorderStrategy::kNone) {
+    SPNET_ASSIGN_OR_RETURN(const ReorderedInputs reordered,
+                           BuildReorderedInputs(a, b, config_.reorder, ctx));
+    const Prepared prep = PrepareWorkload(reordered.a, reordered.b, ctx);
+    SpGemmPlan plan = BuildPlanKernels(prep.workload, prep.classes, device,
+                                       reordered.a.nnz(), ctx);
+    plan.confidence = prep.confidence;
+    return plan;
+  }
   const Prepared prep = PrepareWorkload(a, b, ctx);
   SpGemmPlan plan =
       BuildPlanKernels(prep.workload, prep.classes, device, a.nnz(), ctx);
@@ -265,6 +300,24 @@ Result<CsrMatrix> BlockReorganizerSpGemm::ComputeImpl(
     return Status::InvalidArgument(
         "dimension mismatch in Block Reorganizer compute");
   }
+  if (config_.reorder == sparse::ReorderStrategy::kNone) {
+    return ComputeCore(a, b, ctx);
+  }
+  SPNET_ASSIGN_OR_RETURN(const ReorderedInputs reordered,
+                         BuildReorderedInputs(a, b, config_.reorder, ctx));
+  SPNET_ASSIGN_OR_RETURN(const CsrMatrix permuted,
+                         ComputeCore(reordered.a, reordered.b, ctx));
+  // Invert the pre-pass: permuted row i holds original row rows.OldOf(i)
+  // and permuted column j is original column cols.OldOf(j). Values are
+  // moved, never recombined, so the restored matrix matches the
+  // unpermuted baseline bit for bit (within-row order aside).
+  SPNET_ASSIGN_OR_RETURN(const CsrMatrix rows_restored,
+                         reordered.rows.Inverse().ApplyToRows(permuted));
+  return reordered.cols.Inverse().ApplyToCols(rows_restored);
+}
+
+Result<CsrMatrix> BlockReorganizerSpGemm::ComputeCore(
+    const CsrMatrix& a, const CsrMatrix& b, spgemm::ExecContext* ctx) const {
   // The exact workload always backs execution: relocation cursors and
   // expansion ranges index real buffers, so an estimate must never size
   // them. The planning tier only chooses where the *classes* come from —
@@ -408,7 +461,14 @@ Result<ReorganizerReport> BlockReorganizerSpGemm::Analyze(
     return Status::InvalidArgument("dimension mismatch in Analyze");
   }
   metrics::ScopedSpan span(spgemm::TraceOf(ctx), "analyze:" + name());
-  const Prepared prep = PrepareWorkload(a, b, ctx);
+  Prepared prep;
+  if (config_.reorder != sparse::ReorderStrategy::kNone) {
+    SPNET_ASSIGN_OR_RETURN(const ReorderedInputs reordered,
+                           BuildReorderedInputs(a, b, config_.reorder, ctx));
+    prep = PrepareWorkload(reordered.a, reordered.b, ctx);
+  } else {
+    prep = PrepareWorkload(a, b, ctx);
+  }
   const Workload& workload = prep.workload;
   const Classification& classes = prep.classes;
 
@@ -476,6 +536,21 @@ void RegisterCoreAlgorithms() {
     ReorganizerConfig estimated;
     estimated.planning_tier = PlanningTier::kEstimated;
     add("reorganizer-estimated", estimated, "Estimated-Planning");
+
+    // Full reorganizer behind each reordering pre-pass; the differential
+    // sweep covers every strategy against the reference, proving the
+    // permute/invert round trip never changes results.
+    ReorganizerConfig reorder_degree;
+    reorder_degree.reorder = sparse::ReorderStrategy::kDegree;
+    add("reorganizer-reorder-degree", reorder_degree, "Reorder-Degree");
+
+    ReorganizerConfig reorder_rcm;
+    reorder_rcm.reorder = sparse::ReorderStrategy::kRcm;
+    add("reorganizer-reorder-rcm", reorder_rcm, "Reorder-RCM");
+
+    ReorganizerConfig reorder_cluster;
+    reorder_cluster.reorder = sparse::ReorderStrategy::kCluster;
+    add("reorganizer-reorder-cluster", reorder_cluster, "Reorder-Cluster");
     return true;
   }();
   (void)registered;

@@ -97,6 +97,13 @@ class BlockReorganizerSpGemm : public spgemm::SpGemmAlgorithm {
                                       int64_t nnz_a,
                                       spgemm::ExecContext* ctx) const;
 
+  /// The classify/split/gather/expand/merge pipeline on inputs as given;
+  /// ComputeImpl wraps it with the config's reorder pre-pass (permute A's
+  /// rows and B's columns, compute, invert on the output).
+  Result<sparse::CsrMatrix> ComputeCore(const sparse::CsrMatrix& a,
+                                        const sparse::CsrMatrix& b,
+                                        spgemm::ExecContext* ctx) const;
+
   ReorganizerConfig config_;
   std::string name_;
 };
@@ -109,8 +116,9 @@ Result<std::unique_ptr<spgemm::SpGemmAlgorithm>> MakeBlockReorganizer(
 
 /// Registers the Block Reorganizer family ("reorganizer" plus the
 /// single-technique ablation variants "reorganizer-limiting",
-/// "reorganizer-splitting", "reorganizer-gathering", and the sampled
-/// planning tier "reorganizer-estimated") in
+/// "reorganizer-splitting", "reorganizer-gathering", the sampled
+/// planning tier "reorganizer-estimated", and the reordering pre-pass
+/// ablations "reorganizer-reorder-degree" / "-rcm" / "-cluster") in
 /// spgemm::AlgorithmRegistry::Global(). Idempotent; call before querying
 /// the registry for core-layer algorithms.
 void RegisterCoreAlgorithms();

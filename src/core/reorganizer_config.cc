@@ -90,6 +90,12 @@ Status ReorganizerConfig::Validate() const {
         "min_plan_confidence must be in [0, 1], got " +
         std::to_string(min_plan_confidence));
   }
+  if (reorder != sparse::ReorderStrategy::kNone &&
+      reorder != sparse::ReorderStrategy::kDegree &&
+      reorder != sparse::ReorderStrategy::kRcm &&
+      reorder != sparse::ReorderStrategy::kCluster) {
+    return Status::InvalidArgument("reorder is not a known strategy");
+  }
   return Status::Ok();
 }
 
@@ -106,6 +112,7 @@ uint64_t ReorganizerConfig::Fingerprint() const {
   h = FnvMix(h, static_cast<uint64_t>(planning_tier));
   h = FnvMixDouble(h, estimator_sample_fraction);
   h = FnvMixDouble(h, min_plan_confidence);
+  h = FnvMix(h, static_cast<uint64_t>(reorder));
   return h;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "sparse/reorder.h"
 
 namespace spnet {
 namespace core {
@@ -75,6 +76,15 @@ struct ReorganizerConfig {
   /// Below this plan confidence the kAuto tier falls back to exact
   /// precalculation. Must be in [0, 1].
   double min_plan_confidence = 0.5;
+
+  /// Structural reordering pre-pass (sparse::BuildRowPermutation) applied
+  /// before planning and execution: A's rows and B's columns are permuted,
+  /// the product is computed in the permuted space, and the inverse
+  /// permutations are applied to the output. The inner (contraction)
+  /// dimension is never permuted, so every per-entry accumulation runs in
+  /// the original order and results stay bit-identical to the unpermuted
+  /// baseline (up to within-row entry order).
+  sparse::ReorderStrategy reorder = sparse::ReorderStrategy::kNone;
 
   /// Checks the knobs are usable before an algorithm is built around
   /// them: alpha/beta strictly positive, splitting_factor_override zero

@@ -72,6 +72,23 @@ CsrMatrix DropDiagonal(const CsrMatrix& a) {
   return std::move(result).value();
 }
 
+/// Undirected view of a possibly directed adjacency: the binarized
+/// pattern of A ∨ Aᵀ. On an already symmetric pattern this is a no-op
+/// (beyond binarization), so undirected callers see unchanged results.
+CsrMatrix SymmetrizePattern(const CsrMatrix& a) {
+  const CsrMatrix bin = Binarize(a);
+  auto sum = sparse::Add(bin, bin.Transpose());
+  return Binarize(std::move(sum).value());  // same square shape, cannot fail
+}
+
+/// P·A·Pᵀ — the same permutation on rows and columns, keeping the graph
+/// isomorphic while relabeling node ids to the reorder strategy's order.
+Result<CsrMatrix> PermuteSymmetric(const CsrMatrix& a,
+                                   const sparse::Permutation& p) {
+  SPNET_ASSIGN_OR_RETURN(const CsrMatrix rows_permuted, p.ApplyToRows(a));
+  return p.ApplyToCols(rows_permuted);
+}
+
 }  // namespace
 
 Result<PageRankResult> PageRank(const CsrMatrix& adjacency,
@@ -83,6 +100,20 @@ Result<PageRankResult> PageRank(const CsrMatrix& adjacency,
   const Index n = adjacency.rows();
   if (n == 0) {
     return PageRankResult{};
+  }
+  if (options.reorder != sparse::ReorderStrategy::kNone) {
+    // One symmetric permutation up front, amortized over every iteration;
+    // scores are mapped back to the original node ids.
+    SPNET_ASSIGN_OR_RETURN(
+        const sparse::Permutation perm,
+        sparse::BuildRowPermutation(adjacency, options.reorder));
+    SPNET_ASSIGN_OR_RETURN(const CsrMatrix permuted,
+                           PermuteSymmetric(adjacency, perm));
+    PageRankOptions inner = options;
+    inner.reorder = sparse::ReorderStrategy::kNone;
+    SPNET_ASSIGN_OR_RETURN(PageRankResult result, PageRank(permuted, inner));
+    SPNET_ASSIGN_OR_RETURN(result.scores, perm.Inverse().Apply(result.scores));
+    return result;
   }
 
   // Random-walk transition matrix: rows normalized to 1.
@@ -137,10 +168,28 @@ Result<CsrMatrix> CosineSimilarity(const CsrMatrix& a,
 
 Result<CsrMatrix> KHopReachability(const CsrMatrix& adjacency,
                                    const spgemm::SpGemmAlgorithm& algorithm,
-                                   int hops) {
+                                   int hops,
+                                   sparse::ReorderStrategy reorder) {
   SPNET_RETURN_IF_ERROR(CheckSquare(adjacency, "KHopReachability"));
   if (hops < 1) {
     return Status::InvalidArgument("hops must be >= 1");
+  }
+  if (reorder != sparse::ReorderStrategy::kNone) {
+    // The permutation from the input adjacency stays valid for every
+    // power in the squaring chain (a permuted pattern's powers are the
+    // permuted powers), so one reorder serves the whole chain. Patterns
+    // are exact: mapping back reproduces the unpermuted result.
+    SPNET_ASSIGN_OR_RETURN(const sparse::Permutation perm,
+                           sparse::BuildRowPermutation(adjacency, reorder));
+    SPNET_ASSIGN_OR_RETURN(const CsrMatrix permuted,
+                           PermuteSymmetric(adjacency, perm));
+    SPNET_ASSIGN_OR_RETURN(
+        CsrMatrix reach,
+        KHopReachability(permuted, algorithm, hops,
+                         sparse::ReorderStrategy::kNone));
+    const sparse::Permutation inverse = perm.Inverse();
+    SPNET_ASSIGN_OR_RETURN(reach, inverse.ApplyToRows(reach));
+    return inverse.ApplyToCols(reach);
   }
   // reach = pattern of (A + I)^hops via repeated squaring; binarizing
   // after every multiply keeps values from exploding and the pattern
@@ -166,9 +215,20 @@ Result<CsrMatrix> KHopReachability(const CsrMatrix& adjacency,
 }
 
 Result<int64_t> CountTriangles(const CsrMatrix& adjacency,
-                               const spgemm::SpGemmAlgorithm& algorithm) {
+                               const spgemm::SpGemmAlgorithm& algorithm,
+                               sparse::ReorderStrategy reorder) {
   SPNET_RETURN_IF_ERROR(CheckSquare(adjacency, "CountTriangles"));
-  const CsrMatrix a = Binarize(DropDiagonal(adjacency));
+  if (reorder != sparse::ReorderStrategy::kNone) {
+    // Triangle counts are invariant under node relabeling, so no inverse
+    // mapping is needed — the permutation only improves locality.
+    SPNET_ASSIGN_OR_RETURN(const sparse::Permutation perm,
+                           sparse::BuildRowPermutation(adjacency, reorder));
+    SPNET_ASSIGN_OR_RETURN(const CsrMatrix permuted,
+                           PermuteSymmetric(adjacency, perm));
+    return CountTriangles(permuted, algorithm,
+                          sparse::ReorderStrategy::kNone);
+  }
+  const CsrMatrix a = DropDiagonal(SymmetrizePattern(adjacency));
   SPNET_ASSIGN_OR_RETURN(CsrMatrix a2, algorithm.Compute(a, a));
   a2.SortRows();
   SPNET_ASSIGN_OR_RETURN(CsrMatrix masked, sparse::Hadamard(a2, a));
@@ -183,7 +243,7 @@ Result<CsrMatrix> CommonNeighborScores(
   if (top_k <= 0) {
     return Status::InvalidArgument("top_k must be positive");
   }
-  const CsrMatrix a = Binarize(DropDiagonal(adjacency));
+  const CsrMatrix a = DropDiagonal(SymmetrizePattern(adjacency));
   SPNET_ASSIGN_OR_RETURN(CsrMatrix a2, algorithm.Compute(a, a));
   a2.SortRows();
   // Mask out existing edges: candidates = A^2 - (A^2 .* A), then drop the
@@ -195,12 +255,38 @@ Result<CsrMatrix> CommonNeighborScores(
   return sparse::TopKPerRow(candidates, top_k);
 }
 
-Result<std::vector<int>> BfsLevels(const CsrMatrix& adjacency,
-                                   Index source) {
+namespace {
+
+/// The matrices whose rows a traversal expands for the given direction:
+/// the adjacency itself (out-edges), its transpose (in-edges), or both.
+/// `reverse` is only materialized when needed.
+std::vector<const CsrMatrix*> TraversalEdges(const CsrMatrix& adjacency,
+                                             CsrMatrix* reverse,
+                                             EdgeDirection direction) {
+  switch (direction) {
+    case EdgeDirection::kOut:
+      return {&adjacency};
+    case EdgeDirection::kIn:
+      *reverse = adjacency.Transpose();
+      return {reverse};
+    case EdgeDirection::kBoth:
+      *reverse = adjacency.Transpose();
+      return {&adjacency, reverse};
+  }
+  return {&adjacency};
+}
+
+}  // namespace
+
+Result<std::vector<int>> BfsLevels(const CsrMatrix& adjacency, Index source,
+                                   EdgeDirection direction) {
   SPNET_RETURN_IF_ERROR(CheckSquare(adjacency, "BfsLevels"));
   if (source < 0 || source >= adjacency.rows()) {
     return Status::OutOfRange("BFS source out of range");
   }
+  CsrMatrix reverse;
+  const std::vector<const CsrMatrix*> edges =
+      TraversalEdges(adjacency, &reverse, direction);
   std::vector<int> level(static_cast<size_t>(adjacency.rows()), -1);
   std::vector<Index> frontier = {source};
   level[static_cast<size_t>(source)] = 0;
@@ -210,12 +296,14 @@ Result<std::vector<int>> BfsLevels(const CsrMatrix& adjacency,
     ++depth;
     next.clear();
     for (Index u : frontier) {
-      const SpanView row = adjacency.Row(u);
-      for (Offset k = 0; k < row.size; ++k) {
-        const Index v = row.indices[k];
-        if (level[static_cast<size_t>(v)] == -1) {
-          level[static_cast<size_t>(v)] = depth;
-          next.push_back(v);
+      for (const CsrMatrix* m : edges) {
+        const SpanView row = m->Row(u);
+        for (Offset k = 0; k < row.size; ++k) {
+          const Index v = row.indices[k];
+          if (level[static_cast<size_t>(v)] == -1) {
+            level[static_cast<size_t>(v)] = depth;
+            next.push_back(v);
+          }
         }
       }
     }
@@ -224,21 +312,27 @@ Result<std::vector<int>> BfsLevels(const CsrMatrix& adjacency,
   return level;
 }
 
-Result<std::vector<Index>> ConnectedComponents(const CsrMatrix& adjacency) {
+Result<std::vector<Index>> ConnectedComponents(const CsrMatrix& adjacency,
+                                               EdgeDirection direction) {
   SPNET_RETURN_IF_ERROR(CheckSquare(adjacency, "ConnectedComponents"));
   const Index n = adjacency.rows();
-  const CsrMatrix reverse = adjacency.Transpose();
+  CsrMatrix reverse;
+  const std::vector<const CsrMatrix*> edges =
+      TraversalEdges(adjacency, &reverse, direction);
   std::vector<Index> label(static_cast<size_t>(n), -1);
   std::vector<Index> stack;
   for (Index root = 0; root < n; ++root) {
     if (label[static_cast<size_t>(root)] != -1) continue;
-    // Depth-first flood over out- and in-edges (symmetrized).
+    // Depth-first flood along the requested edge direction. With kBoth
+    // this partitions into weakly-connected components; with kOut/kIn on
+    // a directed graph it is a deterministic reachability flood from
+    // ascending roots (not an equivalence relation — see the header).
     label[static_cast<size_t>(root)] = root;
     stack.assign(1, root);
     while (!stack.empty()) {
       const Index u = stack.back();
       stack.pop_back();
-      for (const CsrMatrix* m : {&adjacency, &reverse}) {
+      for (const CsrMatrix* m : edges) {
         const SpanView row = m->Row(u);
         for (Offset k = 0; k < row.size; ++k) {
           const Index v = row.indices[k];
@@ -256,7 +350,7 @@ Result<std::vector<Index>> ConnectedComponents(const CsrMatrix& adjacency) {
 Result<CsrMatrix> JaccardSimilarity(const CsrMatrix& adjacency,
                                     const spgemm::SpGemmAlgorithm& algorithm) {
   SPNET_RETURN_IF_ERROR(CheckSquare(adjacency, "JaccardSimilarity"));
-  const CsrMatrix a = Binarize(DropDiagonal(adjacency));
+  const CsrMatrix a = DropDiagonal(SymmetrizePattern(adjacency));
   SPNET_ASSIGN_OR_RETURN(CsrMatrix a2, algorithm.Compute(a, a));
   a2.SortRows();
   // Intersections for adjacent pairs only.

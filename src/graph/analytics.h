@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "sparse/csr_matrix.h"
+#include "sparse/reorder.h"
 #include "spgemm/algorithm.h"
 
 namespace spnet {
@@ -14,6 +15,19 @@ namespace graph {
 /// (ranking, similarity computation, recommendation), built on the
 /// library's sparse primitives and — where they are spGEMM-shaped — on a
 /// pluggable SpGemmAlgorithm so the Block Reorganizer accelerates them.
+///
+/// Chained workloads (PageRank iterations, repeated-squaring k-hop,
+/// triangle counting) optionally take a sparse::ReorderStrategy: the
+/// adjacency is symmetrically permuted (P·A·Pᵀ) once up front, every
+/// iteration runs in the permuted space, and outputs are mapped back —
+/// the one-time reorder cost amortizes across the whole chain.
+
+/// Which edges a traversal follows on a (possibly directed) adjacency.
+enum class EdgeDirection {
+  kOut,   ///< out-edges only: step u → v when A[u,v] != 0
+  kIn,    ///< in-edges only: step u → v when A[v,u] != 0
+  kBoth,  ///< either direction, i.e. the underlying undirected graph
+};
 
 /// PageRank options.
 struct PageRankOptions {
@@ -21,6 +35,12 @@ struct PageRankOptions {
   int max_iterations = 100;
   /// L1 change below which iteration stops.
   double tolerance = 1e-9;
+  /// Optional locality pre-pass: the adjacency is symmetrically permuted
+  /// once before iterating and the scores are mapped back, so the result
+  /// is unchanged up to floating-point summation order (accumulations run
+  /// over permuted neighbor orders). The reorder cost amortizes across
+  /// all iterations.
+  sparse::ReorderStrategy reorder = sparse::ReorderStrategy::kNone;
 };
 
 struct PageRankResult {
@@ -44,37 +64,60 @@ Result<sparse::CsrMatrix> CosineSimilarity(
 
 /// Nodes reachable within `hops` steps of each node: the boolean pattern
 /// of (A + I)^hops, computed by repeated squaring through `algorithm`.
-/// Values in the result are 1.0. `hops` must be >= 1.
+/// Values in the result are 1.0. `hops` must be >= 1. With a reorder
+/// strategy the squaring chain runs in the permuted space and the pattern
+/// is mapped back — identical result (patterns are exact), one reorder
+/// amortized over log2(hops) multiplies.
 Result<sparse::CsrMatrix> KHopReachability(
     const sparse::CsrMatrix& adjacency,
-    const spgemm::SpGemmAlgorithm& algorithm, int hops);
+    const spgemm::SpGemmAlgorithm& algorithm, int hops,
+    sparse::ReorderStrategy reorder = sparse::ReorderStrategy::kNone);
 
-/// Counts triangles in an undirected simple graph (symmetric 0/1
-/// adjacency, empty diagonal): sum(A .* A^2) / 6, with A^2 computed
-/// through `algorithm`.
-Result<int64_t> CountTriangles(const sparse::CsrMatrix& adjacency,
-                               const spgemm::SpGemmAlgorithm& algorithm);
+/// Counts triangles of the *undirected* simple graph underlying
+/// `adjacency`: a directed (asymmetric) input is symmetrized internally
+/// via the binarized pattern of A ∨ Aᵀ and the diagonal is dropped, so
+/// u–v–w counts as a triangle when each pair is connected in at least one
+/// direction. Computes sum(A .* A²) / 6 with A² through `algorithm`; the
+/// count is exact (integer sums stay below 2^53) and independent of any
+/// reorder strategy, which only changes the computation locality.
+Result<int64_t> CountTriangles(
+    const sparse::CsrMatrix& adjacency,
+    const spgemm::SpGemmAlgorithm& algorithm,
+    sparse::ReorderStrategy reorder = sparse::ReorderStrategy::kNone);
 
 /// Common-neighbor link prediction scores: for each node, the `top_k`
 /// non-adjacent nodes sharing the most neighbors (A^2 masked by the
-/// complement of A, diagonal removed).
+/// complement of A, diagonal removed). Neighborhoods are those of the
+/// underlying undirected graph: a directed input is symmetrized via
+/// A ∨ Aᵀ first.
 Result<sparse::CsrMatrix> CommonNeighborScores(
     const sparse::CsrMatrix& adjacency,
     const spgemm::SpGemmAlgorithm& algorithm, sparse::Index top_k = 10);
 
-/// BFS levels from `source` over the out-edges; unreachable nodes get -1.
-Result<std::vector<int>> BfsLevels(const sparse::CsrMatrix& adjacency,
-                                   sparse::Index source);
+/// BFS levels from `source` following `direction` edges (out-edges by
+/// default, matching the historical behavior); unreachable nodes get -1.
+Result<std::vector<int>> BfsLevels(
+    const sparse::CsrMatrix& adjacency, sparse::Index source,
+    EdgeDirection direction = EdgeDirection::kOut);
 
-/// Connected-component labels of an *undirected* graph (the adjacency is
-/// symmetrized internally): label[i] is the smallest node id in i's
-/// component.
+/// Component labels from flood-fill over `direction` edges, rooted at
+/// ascending node ids; label[i] is the smallest node id in i's component.
+/// The default kBoth symmetrizes (via the transpose) and yields the
+/// standard weakly-connected components of a directed graph — the
+/// historical behavior. kOut/kIn give deterministic reachability
+/// partitions instead: on a directed graph one-directional reachability
+/// is not an equivalence relation, so a node is labeled by the first
+/// (lowest-id) root that reaches it.
 Result<std::vector<sparse::Index>> ConnectedComponents(
-    const sparse::CsrMatrix& adjacency);
+    const sparse::CsrMatrix& adjacency,
+    EdgeDirection direction = EdgeDirection::kBoth);
 
 /// Jaccard similarity of node neighborhoods for every adjacent pair:
 /// J(u, v) = |N(u) ∩ N(v)| / |N(u) ∪ N(v)|, with the intersection counts
 /// computed as the spGEMM A^2 masked by A through `algorithm`.
+/// Neighborhoods and adjacency are those of the underlying undirected
+/// graph: a directed input is symmetrized via A ∨ Aᵀ first (previously an
+/// asymmetric input silently produced wrong overlap/degree math).
 Result<sparse::CsrMatrix> JaccardSimilarity(
     const sparse::CsrMatrix& adjacency,
     const spgemm::SpGemmAlgorithm& algorithm);

@@ -190,9 +190,16 @@ CsrMatrix TopKPerRow(const CsrMatrix& a, Index k) {
     }
     const size_t keep = std::min<size_t>(static_cast<size_t>(std::max<Index>(k, 0)),
                                          buf.size());
+    // Ties at the k boundary are broken by ascending column index; a
+    // magnitude-only comparator would keep an arbitrary survivor among
+    // equal-magnitude entries, making top-k depend on input entry order
+    // (which a reordering pre-pass changes).
     std::partial_sort(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(keep),
                       buf.end(), [](const auto& x, const auto& y) {
-                        return std::fabs(x.first) > std::fabs(y.first);
+                        const double ax = std::fabs(x.first);
+                        const double ay = std::fabs(y.first);
+                        if (ax != ay) return ax > ay;
+                        return x.second < y.second;
                       });
     buf.resize(keep);
     std::sort(buf.begin(), buf.end(), [](const auto& x, const auto& y) {

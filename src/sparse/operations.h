@@ -36,7 +36,9 @@ Result<CsrMatrix> Submatrix(const CsrMatrix& a, Index row_begin,
 /// Drops entries with |value| <= threshold (exact zeros by default).
 CsrMatrix DropEntries(const CsrMatrix& a, Value threshold = 0.0);
 
-/// Keeps only the largest-|value| `k` entries of each row.
+/// Keeps only the largest-|value| `k` entries of each row. Deterministic:
+/// equal magnitudes at the k boundary are broken by ascending column
+/// index, so the result is independent of input entry order.
 CsrMatrix TopKPerRow(const CsrMatrix& a, Index k);
 
 /// sum_ij |a_ij|^2, square-rooted.

@@ -1,0 +1,300 @@
+#include "sparse/reorder.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+namespace spnet {
+namespace sparse {
+
+namespace {
+
+/// SplitMix64 finalizer: deterministic, platform-independent column-id
+/// hashing for the min-hash signatures.
+uint64_t HashU64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::vector<Index> DegreeOrder(const CsrMatrix& m) {
+  std::vector<Index> order(static_cast<size_t>(m.rows()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&m](Index x, Index y) {
+    const Offset dx = m.RowNnz(x);
+    const Offset dy = m.RowNnz(y);
+    if (dx != dy) return dx > dy;  // hubs first
+    return x < y;
+  });
+  return order;
+}
+
+/// Reverse Cuthill–McKee over the bipartite row/column graph: rows are
+/// adjacent when they share a column. Each column is expanded exactly once
+/// (its row list is consumed on first touch), so the traversal is O(nnz)
+/// plus the per-level neighbor sorts. Components are rooted at the
+/// lowest-degree unvisited row; empty rows are their own components.
+std::vector<Index> RcmOrder(const CsrMatrix& m) {
+  const Index rows = m.rows();
+  const CscMatrix csc = CscMatrix::FromCsr(m);
+
+  std::vector<Index> roots(static_cast<size_t>(rows));
+  std::iota(roots.begin(), roots.end(), 0);
+  std::sort(roots.begin(), roots.end(), [&m](Index x, Index y) {
+    const Offset dx = m.RowNnz(x);
+    const Offset dy = m.RowNnz(y);
+    if (dx != dy) return dx < dy;  // peripheral (low-degree) roots first
+    return x < y;
+  });
+
+  std::vector<bool> visited(static_cast<size_t>(rows), false);
+  std::vector<bool> col_consumed(static_cast<size_t>(m.cols()), false);
+  std::vector<Index> order;
+  order.reserve(static_cast<size_t>(rows));
+  std::vector<Index> neighbors;
+
+  for (Index root : roots) {
+    if (visited[static_cast<size_t>(root)]) continue;
+    visited[static_cast<size_t>(root)] = true;
+    const size_t component_begin = order.size();
+    order.push_back(root);
+    for (size_t head = component_begin; head < order.size(); ++head) {
+      const Index r = order[head];
+      neighbors.clear();
+      const SpanView row = m.Row(r);
+      for (Offset k = 0; k < row.size; ++k) {
+        const Index c = row.indices[static_cast<size_t>(k)];
+        if (col_consumed[static_cast<size_t>(c)]) continue;
+        col_consumed[static_cast<size_t>(c)] = true;
+        const SpanView col = csc.Col(c);
+        for (Offset l = 0; l < col.size; ++l) {
+          const Index r2 = col.indices[static_cast<size_t>(l)];
+          if (visited[static_cast<size_t>(r2)]) continue;
+          visited[static_cast<size_t>(r2)] = true;
+          neighbors.push_back(r2);
+        }
+      }
+      std::sort(neighbors.begin(), neighbors.end(), [&m](Index x, Index y) {
+        const Offset dx = m.RowNnz(x);
+        const Offset dy = m.RowNnz(y);
+        if (dx != dy) return dx < dy;
+        return x < y;
+      });
+      order.insert(order.end(), neighbors.begin(), neighbors.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+/// Min-hash clustering: two independent signatures over each row's column
+/// ids; sorting by the signature pair lands rows with overlapping patterns
+/// near each other with high probability. Empty rows sort last.
+std::vector<Index> ClusterOrder(const CsrMatrix& m) {
+  const Index rows = m.rows();
+  constexpr uint64_t kSaltA = 0xA24BAED4963EE407ULL;
+  constexpr uint64_t kSaltB = 0x9FB21C651E98DF25ULL;
+  std::vector<std::pair<uint64_t, uint64_t>> sig(static_cast<size_t>(rows));
+  for (Index r = 0; r < rows; ++r) {
+    uint64_t s1 = std::numeric_limits<uint64_t>::max();
+    uint64_t s2 = std::numeric_limits<uint64_t>::max();
+    const SpanView row = m.Row(r);
+    for (Offset k = 0; k < row.size; ++k) {
+      const uint64_t c =
+          static_cast<uint64_t>(row.indices[static_cast<size_t>(k)]);
+      s1 = std::min(s1, HashU64(c ^ kSaltA));
+      s2 = std::min(s2, HashU64(c ^ kSaltB));
+    }
+    sig[static_cast<size_t>(r)] = {s1, s2};
+  }
+  std::vector<Index> order(static_cast<size_t>(rows));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](Index x, Index y) {
+    const auto& sx = sig[static_cast<size_t>(x)];
+    const auto& sy = sig[static_cast<size_t>(y)];
+    if (sx != sy) return sx < sy;
+    const Offset dx = m.RowNnz(x);
+    const Offset dy = m.RowNnz(y);
+    if (dx != dy) return dx > dy;
+    return x < y;
+  });
+  return order;
+}
+
+}  // namespace
+
+const char* ReorderStrategyName(ReorderStrategy strategy) {
+  switch (strategy) {
+    case ReorderStrategy::kNone:
+      return "none";
+    case ReorderStrategy::kDegree:
+      return "degree";
+    case ReorderStrategy::kRcm:
+      return "rcm";
+    case ReorderStrategy::kCluster:
+      return "cluster";
+  }
+  return "none";
+}
+
+Result<ReorderStrategy> ParseReorderStrategy(const std::string& name) {
+  if (name == "none") return ReorderStrategy::kNone;
+  if (name == "degree") return ReorderStrategy::kDegree;
+  if (name == "rcm") return ReorderStrategy::kRcm;
+  if (name == "cluster") return ReorderStrategy::kCluster;
+  return Status::InvalidArgument("unknown reorder strategy '" + name +
+                                 "' (want none|degree|rcm|cluster)");
+}
+
+const std::vector<ReorderStrategy>& AllReorderStrategies() {
+  static const std::vector<ReorderStrategy> kAll = {
+      ReorderStrategy::kNone, ReorderStrategy::kDegree, ReorderStrategy::kRcm,
+      ReorderStrategy::kCluster};
+  return kAll;
+}
+
+Permutation Permutation::Identity(Index n) {
+  Permutation p;
+  p.new_to_old_.resize(static_cast<size_t>(n));
+  std::iota(p.new_to_old_.begin(), p.new_to_old_.end(), 0);
+  p.old_to_new_ = p.new_to_old_;
+  return p;
+}
+
+Result<Permutation> Permutation::FromNewToOld(std::vector<Index> new_to_old) {
+  const size_t n = new_to_old.size();
+  std::vector<Index> old_to_new(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    const Index old_pos = new_to_old[i];
+    if (old_pos < 0 || static_cast<size_t>(old_pos) >= n) {
+      return Status::InvalidArgument(
+          "permutation entry " + std::to_string(old_pos) + " out of [0, " +
+          std::to_string(n) + ")");
+    }
+    if (old_to_new[static_cast<size_t>(old_pos)] != -1) {
+      return Status::InvalidArgument("permutation maps position " +
+                                     std::to_string(old_pos) + " twice");
+    }
+    old_to_new[static_cast<size_t>(old_pos)] = static_cast<Index>(i);
+  }
+  Permutation p;
+  p.new_to_old_ = std::move(new_to_old);
+  p.old_to_new_ = std::move(old_to_new);
+  return p;
+}
+
+bool Permutation::IsIdentity() const {
+  for (size_t i = 0; i < new_to_old_.size(); ++i) {
+    if (new_to_old_[i] != static_cast<Index>(i)) return false;
+  }
+  return true;
+}
+
+Permutation Permutation::Inverse() const {
+  Permutation p;
+  p.new_to_old_ = old_to_new_;
+  p.old_to_new_ = new_to_old_;
+  return p;
+}
+
+Result<Permutation> Permutation::Compose(const Permutation& after,
+                                         const Permutation& before) {
+  if (after.size() != before.size()) {
+    return Status::InvalidArgument(
+        "cannot compose permutations of sizes " +
+        std::to_string(after.size()) + " and " + std::to_string(before.size()));
+  }
+  std::vector<Index> combined(after.new_to_old_.size());
+  for (size_t i = 0; i < combined.size(); ++i) {
+    combined[i] = before.OldOf(after.new_to_old_[i]);
+  }
+  return FromNewToOld(std::move(combined));
+}
+
+Result<CsrMatrix> Permutation::ApplyToRows(const CsrMatrix& m) const {
+  if (m.rows() != size()) {
+    return Status::InvalidArgument(
+        "row permutation size " + std::to_string(size()) +
+        " does not match matrix rows " + std::to_string(m.rows()));
+  }
+  const Index rows = m.rows();
+  std::vector<Offset> ptr(static_cast<size_t>(rows) + 1, 0);
+  for (Index i = 0; i < rows; ++i) {
+    ptr[static_cast<size_t>(i) + 1] =
+        ptr[static_cast<size_t>(i)] + m.RowNnz(OldOf(i));
+  }
+  std::vector<Index> indices(static_cast<size_t>(m.nnz()));
+  std::vector<Value> values(static_cast<size_t>(m.nnz()));
+  for (Index i = 0; i < rows; ++i) {
+    const SpanView row = m.Row(OldOf(i));
+    Offset out = ptr[static_cast<size_t>(i)];
+    for (Offset k = 0; k < row.size; ++k, ++out) {
+      indices[static_cast<size_t>(out)] = row.indices[static_cast<size_t>(k)];
+      values[static_cast<size_t>(out)] = row.values[static_cast<size_t>(k)];
+    }
+  }
+  return CsrMatrix::FromParts(rows, m.cols(), std::move(ptr),
+                              std::move(indices), std::move(values));
+}
+
+Result<CsrMatrix> Permutation::ApplyToCols(const CsrMatrix& m) const {
+  if (m.cols() != size()) {
+    return Status::InvalidArgument(
+        "column permutation size " + std::to_string(size()) +
+        " does not match matrix cols " + std::to_string(m.cols()));
+  }
+  std::vector<Offset> ptr = m.ptr();
+  std::vector<Index> indices(static_cast<size_t>(m.nnz()));
+  std::vector<Value> values(static_cast<size_t>(m.nnz()));
+  std::vector<std::pair<Index, Value>> buf;
+  for (Index r = 0; r < m.rows(); ++r) {
+    const SpanView row = m.Row(r);
+    buf.clear();
+    for (Offset k = 0; k < row.size; ++k) {
+      buf.emplace_back(NewOf(row.indices[static_cast<size_t>(k)]),
+                       row.values[static_cast<size_t>(k)]);
+    }
+    // Values travel with their entries, never recombine; re-sorting by the
+    // new ids keeps the sorted-rows builder invariant.
+    std::sort(buf.begin(), buf.end(),
+              [](const std::pair<Index, Value>& x,
+                 const std::pair<Index, Value>& y) { return x.first < y.first; });
+    Offset out = ptr[static_cast<size_t>(r)];
+    for (const auto& e : buf) {
+      indices[static_cast<size_t>(out)] = e.first;
+      values[static_cast<size_t>(out)] = e.second;
+      ++out;
+    }
+  }
+  return CsrMatrix::FromParts(m.rows(), m.cols(), std::move(ptr),
+                              std::move(indices), std::move(values));
+}
+
+Result<Permutation> BuildRowPermutation(const CsrMatrix& m,
+                                        ReorderStrategy strategy) {
+  switch (strategy) {
+    case ReorderStrategy::kNone:
+      return Permutation::Identity(m.rows());
+    case ReorderStrategy::kDegree:
+      return Permutation::FromNewToOld(DegreeOrder(m));
+    case ReorderStrategy::kRcm:
+      return Permutation::FromNewToOld(RcmOrder(m));
+    case ReorderStrategy::kCluster:
+      return Permutation::FromNewToOld(ClusterOrder(m));
+  }
+  return Status::InvalidArgument("unknown reorder strategy");
+}
+
+Result<Permutation> BuildColPermutation(const CsrMatrix& m,
+                                        ReorderStrategy strategy) {
+  if (strategy == ReorderStrategy::kNone) {
+    return Permutation::Identity(m.cols());
+  }
+  return BuildRowPermutation(m.Transpose(), strategy);
+}
+
+}  // namespace sparse
+}  // namespace spnet

@@ -9,6 +9,7 @@
 #include "core/block_reorganizer.h"
 #include "gpusim/device_spec.h"
 #include "sparse/reference_spgemm.h"
+#include "sparse/reorder.h"
 
 namespace spnet {
 namespace verify {
@@ -536,6 +537,29 @@ Status VerifyReorganizerInvariants(const sparse::CsrMatrix& a,
                          sparse::ReferenceSpGemm(a, b));
   if (!sparse::CsrApproxEqual(expected, got)) {
     return Violation("reorganizer output diverges from the reference");
+  }
+
+  // The reorder pre-pass promises more than tolerance agreement: because
+  // the inner dimension is never permuted, every per-entry accumulation
+  // runs in the original order and the restored output must match the
+  // unpermuted configuration bit for bit (row order normalized).
+  if (config.reorder != sparse::ReorderStrategy::kNone) {
+    core::ReorganizerConfig unpermuted = config;
+    unpermuted.reorder = sparse::ReorderStrategy::kNone;
+    SPNET_ASSIGN_OR_RETURN(
+        std::unique_ptr<spgemm::SpGemmAlgorithm> baseline_algorithm,
+        core::MakeBlockReorganizer(unpermuted));
+    SPNET_ASSIGN_OR_RETURN(sparse::CsrMatrix baseline,
+                           baseline_algorithm->Compute(a, b));
+    baseline.SortRows();
+    got.SortRows();
+    if (baseline.ptr() != got.ptr() || baseline.indices() != got.indices() ||
+        baseline.values() != got.values()) {
+      return Violation(
+          std::string("reordered output (strategy ") +
+          sparse::ReorderStrategyName(config.reorder) +
+          ") is not bit-identical to the unpermuted baseline");
+    }
   }
   return Status::Ok();
 }

@@ -154,6 +154,74 @@ TEST(TriangleTest, KnownCounts) {
   EXPECT_EQ(k5.value(), 10);
 }
 
+TEST(TriangleTest, DirectedInputIsSymmetrized) {
+  // Directed 3-cycle 0->1->2->0: each pair is connected in one direction,
+  // so the underlying undirected graph is K3 — one triangle. The old
+  // asymmetric math found zero overlap here.
+  CooMatrix cyc(3, 3);
+  cyc.Add(0, 1, 1.0);
+  cyc.Add(1, 2, 1.0);
+  cyc.Add(2, 0, 1.0);
+  auto a = CsrMatrix::FromCoo(cyc);
+  auto n = CountTriangles(*a, Reorganizer());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1);
+
+  // Transitive DAG triangle 0->1, 1->2, 0->2: same underlying K3.
+  CooMatrix dag(3, 3);
+  dag.Add(0, 1, 1.0);
+  dag.Add(1, 2, 1.0);
+  dag.Add(0, 2, 1.0);
+  auto d = CsrMatrix::FromCoo(dag);
+  auto m = CountTriangles(*d, Reorganizer());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value(), 1);
+}
+
+TEST(TriangleTest, ReorderStrategiesPreserveCounts) {
+  const CsrMatrix a = testing_util::SkewedMatrix(60, 40, 37);
+  auto baseline = CountTriangles(a, Reorganizer());
+  ASSERT_TRUE(baseline.ok());
+  for (sparse::ReorderStrategy strategy : sparse::AllReorderStrategies()) {
+    auto reordered = CountTriangles(a, Reorganizer(), strategy);
+    ASSERT_TRUE(reordered.ok())
+        << sparse::ReorderStrategyName(strategy);
+    EXPECT_EQ(reordered.value(), baseline.value())
+        << sparse::ReorderStrategyName(strategy);
+  }
+}
+
+TEST(JaccardTest, DirectedInputIsSymmetrized) {
+  // Directed 3-cycle: underlying undirected K3, so every adjacent pair
+  // scores 1/3 — and the output covers both directions of each edge.
+  CooMatrix cyc(3, 3);
+  cyc.Add(0, 1, 1.0);
+  cyc.Add(1, 2, 1.0);
+  cyc.Add(2, 0, 1.0);
+  auto a = CsrMatrix::FromCoo(cyc);
+  auto j = JaccardSimilarity(*a, Reorganizer());
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->nnz(), 6);
+  for (sparse::Value v : j->values()) {
+    EXPECT_NEAR(v, 1.0 / 3.0, 1e-9);
+  }
+}
+
+TEST(CommonNeighborTest, DirectedInputIsSymmetrized) {
+  // One-directional path 0->1->2: undirected view is the path 0-1-2, so
+  // node 0 should be predicted to link with node 2 (shared neighbor 1).
+  CooMatrix coo(3, 3);
+  coo.Add(0, 1, 1.0);
+  coo.Add(1, 2, 1.0);
+  auto a = CsrMatrix::FromCoo(coo);
+  auto scores = CommonNeighborScores(*a, Reorganizer(), 2);
+  ASSERT_TRUE(scores.ok());
+  const sparse::SpanView row0 = scores->Row(0);
+  ASSERT_EQ(row0.size, 1);
+  EXPECT_EQ(row0.indices[0], 2);
+  EXPECT_DOUBLE_EQ(row0.values[0], 1.0);
+}
+
 TEST(CommonNeighborTest, PredictsCycleClosure) {
   // Path 0-1-2: nodes 0 and 2 share neighbor 1 and are not adjacent.
   CooMatrix coo(3, 3);
@@ -226,6 +294,96 @@ TEST(ConnectedComponentsTest, AgreesWithBfsOnUndirectedGraph) {
   for (size_t i = 0; i < labels->size(); ++i) {
     EXPECT_EQ((*labels)[i], 0);
     EXPECT_GE((*levels)[i], 0);
+  }
+}
+
+TEST(BfsTest, DirectionOption) {
+  // Asymmetric chain 0->1->2.
+  CooMatrix coo(3, 3);
+  coo.Add(0, 1, 1.0);
+  coo.Add(1, 2, 1.0);
+  auto a = CsrMatrix::FromCoo(coo);
+
+  auto out = BfsLevels(*a, 2, EdgeDirection::kOut);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], -1);
+  EXPECT_EQ((*out)[1], -1);
+  EXPECT_EQ((*out)[2], 0);
+
+  auto in = BfsLevels(*a, 2, EdgeDirection::kIn);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ((*in)[0], 2);
+  EXPECT_EQ((*in)[1], 1);
+  EXPECT_EQ((*in)[2], 0);
+
+  auto both = BfsLevels(*a, 2, EdgeDirection::kBoth);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ((*both)[0], 2);
+  EXPECT_EQ((*both)[1], 1);
+
+  // Default stays the historical out-edges behavior.
+  auto def = BfsLevels(*a, 0);
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ((*def)[2], 2);
+}
+
+TEST(ConnectedComponentsTest, DirectionOption) {
+  // 0->1 and 2->1: weakly one component, but out-edge floods from 0 and 2
+  // never meet node ids already claimed by a lower root.
+  CooMatrix coo(3, 3);
+  coo.Add(0, 1, 1.0);
+  coo.Add(2, 1, 1.0);
+  auto a = CsrMatrix::FromCoo(coo);
+
+  auto both = ConnectedComponents(*a);  // default kBoth
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ((*both)[0], 0);
+  EXPECT_EQ((*both)[1], 0);
+  EXPECT_EQ((*both)[2], 0);
+
+  auto out = ConnectedComponents(*a, EdgeDirection::kOut);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], 0);
+  EXPECT_EQ((*out)[1], 0);  // claimed by root 0's flood
+  EXPECT_EQ((*out)[2], 2);  // 1 already labeled, so 2 is alone
+
+  auto in = ConnectedComponents(*a, EdgeDirection::kIn);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ((*in)[0], 0);
+  EXPECT_EQ((*in)[1], 1);  // root 1 floods its in-neighbors ...
+  EXPECT_EQ((*in)[2], 1);  // ... reaching the unclaimed node 2
+}
+
+TEST(PageRankTest, ReorderStrategiesPreserveScores) {
+  const CsrMatrix a = testing_util::SkewedMatrix(80, 50, 39);
+  auto baseline = PageRank(a);
+  ASSERT_TRUE(baseline.ok());
+  for (sparse::ReorderStrategy strategy : sparse::AllReorderStrategies()) {
+    PageRankOptions options;
+    options.reorder = strategy;
+    auto reordered = PageRank(a, options);
+    ASSERT_TRUE(reordered.ok()) << sparse::ReorderStrategyName(strategy);
+    ASSERT_EQ(reordered->scores.size(), baseline->scores.size());
+    for (size_t i = 0; i < baseline->scores.size(); ++i) {
+      // Scores agree up to floating-point summation order.
+      EXPECT_NEAR(reordered->scores[i], baseline->scores[i], 1e-9)
+          << sparse::ReorderStrategyName(strategy) << " node " << i;
+    }
+  }
+}
+
+TEST(KHopTest, ReorderStrategiesPreservePattern) {
+  const CsrMatrix a = testing_util::SkewedMatrix(60, 30, 41);
+  auto baseline = KHopReachability(a, Reorganizer(), 3);
+  ASSERT_TRUE(baseline.ok());
+  baseline->SortRows();
+  for (sparse::ReorderStrategy strategy : sparse::AllReorderStrategies()) {
+    auto reordered = KHopReachability(a, Reorganizer(), 3, strategy);
+    ASSERT_TRUE(reordered.ok()) << sparse::ReorderStrategyName(strategy);
+    reordered->SortRows();
+    // Patterns are exact (all values 1.0): demand exact equality.
+    EXPECT_TRUE(sparse::CsrApproxEqual(*baseline, *reordered, 0.0))
+        << sparse::ReorderStrategyName(strategy);
   }
 }
 

@@ -143,6 +143,50 @@ TEST(TopKTest, KeepsLargestMagnitudesSorted) {
   EXPECT_EQ(TopKPerRow(*a, 0).nnz(), 0);
 }
 
+TEST(TopKTest, EqualMagnitudeTiesBreakByColumnIndex) {
+  // Five entries of identical magnitude (mixed signs): the k survivors at
+  // the boundary must be the lowest column ids, independent of entry order.
+  CooMatrix coo(1, 5);
+  coo.Add(0, 4, 2.0);
+  coo.Add(0, 2, -2.0);
+  coo.Add(0, 0, 2.0);
+  coo.Add(0, 3, 2.0);
+  coo.Add(0, 1, -2.0);
+  auto a = CsrMatrix::FromCoo(coo);
+  const CsrMatrix top = TopKPerRow(*a, 3);
+  ASSERT_EQ(top.nnz(), 3);
+  EXPECT_EQ(top.Row(0).indices[0], 0);
+  EXPECT_EQ(top.Row(0).indices[1], 1);
+  EXPECT_EQ(top.Row(0).indices[2], 2);
+  EXPECT_DOUBLE_EQ(top.Row(0).values[1], -2.0);  // signs travel with entries
+
+  // The same row stored with unsorted entries (FromCoo would sort them, so
+  // build from parts directly) must select the same survivors: the result
+  // may not depend on the order entries happen to sit in the CSR arrays.
+  auto b = CsrMatrix::FromParts(1, 5, {0, 5}, {4, 1, 3, 0, 2},
+                                {2.0, -2.0, 2.0, 2.0, -2.0});
+  ASSERT_TRUE(b.ok());
+  const CsrMatrix top2 = TopKPerRow(*b, 3);
+  ASSERT_EQ(top2.nnz(), 3);
+  for (Offset i = 0; i < 3; ++i) {
+    EXPECT_EQ(top2.Row(0).indices[i], top.Row(0).indices[i]);
+    EXPECT_DOUBLE_EQ(top2.Row(0).values[i], top.Row(0).values[i]);
+  }
+
+  // A mixed row where the boundary tie sits below a strictly larger entry:
+  // |−9| wins outright, then the tie at |3| resolves to the lower column.
+  CooMatrix coo3(1, 4);
+  coo3.Add(0, 0, 3.0);
+  coo3.Add(0, 1, -9.0);
+  coo3.Add(0, 2, -3.0);
+  coo3.Add(0, 3, 1.0);
+  auto c = CsrMatrix::FromCoo(coo3);
+  const CsrMatrix top3 = TopKPerRow(*c, 2);
+  ASSERT_EQ(top3.nnz(), 2);
+  EXPECT_EQ(top3.Row(0).indices[0], 0);
+  EXPECT_EQ(top3.Row(0).indices[1], 1);
+}
+
 TEST(NormTest, FrobeniusAndSum) {
   const CsrMatrix a = Small();
   EXPECT_NEAR(FrobeniusNorm(a), std::sqrt(1.0 + 4 + 9 + 16 + 25), 1e-12);

@@ -14,8 +14,10 @@
 //             [--deadline_ms D] [--fallback outer-product] [--repeats N]
 //             [--scale 0.05] [--cache dir] [--device titanxp]
 //             [--planning_tier exact|estimated|auto]
+//             [--reorder none|degree|rcm|cluster]
 //   spnet_cli verify   [--sweep small|medium] [--seed 42]
 //             [--planning_tier exact|estimated|auto]
+//             [--reorder none|degree|rcm|cluster]
 //
 // verify runs the correctness harness: a differential sweep of every
 // registered algorithm against the reference spGEMM over seeded input
@@ -66,6 +68,7 @@
 #include "gpusim/profiler.h"
 #include "metrics/report.h"
 #include "sparse/matrix_market.h"
+#include "sparse/reorder.h"
 #include "sparse/serialization.h"
 #include "sparse/stats.h"
 #include "spgemm/algorithm.h"
@@ -304,6 +307,12 @@ int CmdBatch(const FlagParser& flags) {
     if (!tier.ok()) return Fail(tier.status());
     options.reorganizer_config.planning_tier = *tier;
   }
+  if (flags.Has("reorder")) {
+    auto strategy =
+        sparse::ParseReorderStrategy(flags.GetString("reorder", "none"));
+    if (!strategy.ok()) return Fail(strategy.status());
+    options.reorganizer_config.reorder = *strategy;
+  }
   engine::BatchRunner runner(std::move(options));
 
   const int64_t repeats = std::max<int64_t>(1, flags.GetInt("repeats", 1));
@@ -382,25 +391,47 @@ int CmdVerify(const FlagParser& flags) {
     if (!tier.ok()) return Fail(tier.status());
     forced_tier = *tier;
   }
+  // A forced --reorder similarly overrides every variant's reordering
+  // pre-pass — the CI reorder smoke runs the whole suite under each
+  // strategy, including the bit-identity check against the unpermuted
+  // baseline inside VerifyReorganizerInvariants.
+  sparse::ReorderStrategy forced_reorder = sparse::ReorderStrategy::kNone;
+  const bool force_reorder = flags.Has("reorder");
+  if (force_reorder) {
+    auto strategy =
+        sparse::ParseReorderStrategy(flags.GetString("reorder", "none"));
+    if (!strategy.ok()) return Fail(strategy.status());
+    forced_reorder = *strategy;
+  }
   struct Variant {
     const char* name;
     bool split;
     bool gather;
     bool limit;
     core::PlanningTier tier;
+    sparse::ReorderStrategy reorder;
   };
   const Variant variants[] = {
-      {"reorganizer", true, true, true, core::PlanningTier::kExact},
+      {"reorganizer", true, true, true, core::PlanningTier::kExact,
+       sparse::ReorderStrategy::kNone},
       {"reorganizer-splitting", true, false, false,
-       core::PlanningTier::kExact},
+       core::PlanningTier::kExact, sparse::ReorderStrategy::kNone},
       {"reorganizer-gathering", false, true, false,
-       core::PlanningTier::kExact},
+       core::PlanningTier::kExact, sparse::ReorderStrategy::kNone},
       {"reorganizer-limiting", false, false, true,
-       core::PlanningTier::kExact},
-      {"reorganizer-none", false, false, false, core::PlanningTier::kExact},
+       core::PlanningTier::kExact, sparse::ReorderStrategy::kNone},
+      {"reorganizer-none", false, false, false, core::PlanningTier::kExact,
+       sparse::ReorderStrategy::kNone},
       {"reorganizer-estimated", true, true, true,
-       core::PlanningTier::kEstimated},
-      {"reorganizer-auto", true, true, true, core::PlanningTier::kAuto},
+       core::PlanningTier::kEstimated, sparse::ReorderStrategy::kNone},
+      {"reorganizer-auto", true, true, true, core::PlanningTier::kAuto,
+       sparse::ReorderStrategy::kNone},
+      {"reorganizer-reorder-degree", true, true, true,
+       core::PlanningTier::kExact, sparse::ReorderStrategy::kDegree},
+      {"reorganizer-reorder-rcm", true, true, true,
+       core::PlanningTier::kExact, sparse::ReorderStrategy::kRcm},
+      {"reorganizer-reorder-cluster", true, true, true,
+       core::PlanningTier::kExact, sparse::ReorderStrategy::kCluster},
   };
   for (const Variant& v : variants) {
     core::ReorganizerConfig config;
@@ -408,6 +439,7 @@ int CmdVerify(const FlagParser& flags) {
     config.enable_gathering = v.gather;
     config.enable_limiting = v.limit;
     config.planning_tier = force_tier ? forced_tier : v.tier;
+    config.reorder = force_reorder ? forced_reorder : v.reorder;
     Status worst = Status::Ok();
     for (const std::string& family : verify::SweepFamilyNames()) {
       for (int k = 0; k < options.cases_per_family; ++k) {

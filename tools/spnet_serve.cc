@@ -22,6 +22,7 @@
 //               [--scale 0.05] [--seed 42] [--cache dir]
 //               [--deadline_ms D] [--fallback outer-product]
 //               [--planning_tier exact|estimated|auto]
+//               [--reorder none|degree|rcm|cluster]
 //               [--device titanxp|v100|2080ti] [--threads N]
 //               [--metrics_out stats.json]
 //
@@ -46,6 +47,7 @@
 #include "metrics/json_writer.h"
 #include "serve/server.h"
 #include "serve/wire.h"
+#include "sparse/reorder.h"
 
 namespace spnet {
 namespace {
@@ -112,6 +114,11 @@ Result<serve::ServeOptions> OptionsFromFlags(const FlagParser& flags) {
     SPNET_ASSIGN_OR_RETURN(
         options.engine.reorganizer_config.planning_tier,
         core::ParsePlanningTier(flags.GetString("planning_tier", "exact")));
+  }
+  if (flags.Has("reorder")) {
+    SPNET_ASSIGN_OR_RETURN(
+        options.engine.reorganizer_config.reorder,
+        sparse::ParseReorderStrategy(flags.GetString("reorder", "none")));
   }
   options.engine.device = DeviceFromFlags(flags);
   options.store.capacity = static_cast<size_t>(
