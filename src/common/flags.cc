@@ -5,6 +5,11 @@
 namespace spnet {
 
 Status FlagParser::Parse(int argc, const char* const* argv) {
+  return Parse(argc, argv, {});
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv,
+                         const std::set<std::string>& boolean_flags) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -18,6 +23,8 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
     const size_t eq = arg.find('=');
     if (eq != std::string::npos) {
       values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (boolean_flags.count(arg) > 0) {
+      values_[arg] = "true";
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[arg] = argv[++i];
     } else {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,13 @@ class FlagParser {
  public:
   /// Parses argv; returns InvalidArgument on malformed input.
   Status Parse(int argc, const char* const* argv);
+
+  /// Like Parse, but names in `boolean_flags` never consume the following
+  /// token as a value (`--werror src` keeps `src` positional). Tools whose
+  /// boolean switches precede positional paths must use this overload;
+  /// `--name=value` still works for every flag.
+  Status Parse(int argc, const char* const* argv,
+               const std::set<std::string>& boolean_flags);
 
   bool Has(const std::string& name) const;
   std::string GetString(const std::string& name,

@@ -345,8 +345,8 @@ Result<CsrMatrix> BlockReorganizerSpGemm::ComputeCore(
   std::vector<Offset> chat_ptr(static_cast<size_t>(rows) + 1, 0);
   for (Index r = 0; r < rows; ++r) {
     chat_ptr[static_cast<size_t>(r) + 1] =
-        chat_ptr[static_cast<size_t>(r)] +
-        workload.row_chat[static_cast<size_t>(r)];
+        SatAddI64(chat_ptr[static_cast<size_t>(r)],
+                  workload.row_chat[static_cast<size_t>(r)]);
   }
   const Offset total = chat_ptr[static_cast<size_t>(rows)];
   // The Ĉ buffers are the largest transient allocation in the pipeline;

@@ -1,0 +1,137 @@
+#ifndef SPNET_LINT_GRAPH_H_
+#define SPNET_LINT_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lint/lint.h"
+#include "lint/suppression.h"
+
+namespace spnet {
+namespace lint {
+
+/// One source file handed to the project-graph analyzer: the path as the
+/// caller spelled it (used verbatim in diagnostics) and the file's text.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One `#include "..."` directive found in a file. `target` is the path as
+/// written; `resolved` is the repo-relative id of the included file when it
+/// names another file in the graph, empty for external/system includes.
+struct IncludeRef {
+  std::string target;
+  std::string resolved;
+  int line = 0;
+};
+
+/// One file in the include graph. `id` is the repo-relative identity
+/// (`src/core/suite.h`, `tests/test_util.h`), `display_path` the spelling
+/// diagnostics use, `module` the layering unit the file belongs to (empty
+/// when the path maps to no known module root).
+struct FileNode {
+  std::string id;
+  std::string display_path;
+  std::string module;
+  std::vector<IncludeRef> includes;
+  SuppressionIndex suppressions;
+};
+
+/// The checked-in layering policy: for each module, the set of modules its
+/// files may `#include` from. A module mapped to the wildcard "*" (the
+/// leaf binaries: tools, tests, bench, examples) may depend on anything.
+/// Self-dependencies are always allowed and never listed.
+class LayeringManifest {
+ public:
+  bool Allows(const std::string& from, const std::string& to) const;
+  bool Knows(const std::string& module) const;
+  bool IsUnrestricted(const std::string& module) const;
+  const std::map<std::string, std::set<std::string>>& allowed() const {
+    return allowed_;
+  }
+
+ private:
+  friend Result<LayeringManifest> ParseLayeringManifest(
+      const std::string& text);
+  std::map<std::string, std::set<std::string>> allowed_;
+  std::set<std::string> unrestricted_;
+};
+
+/// Parses a manifest: one `module: dep dep ...` line per module, `#`
+/// comments and blank lines ignored, `*` as the sole dependency for
+/// unrestricted modules. Errors: malformed lines, duplicate modules,
+/// dependencies on undeclared modules, and any cycle among the declared
+/// edges (the manifest itself must describe a DAG).
+[[nodiscard]] Result<LayeringManifest> ParseLayeringManifest(
+    const std::string& text);
+
+/// The built-in manifest source. LAYERING.md carries the same text
+/// verbatim (lint_test pins them to each other), so the policy is
+/// reviewable in one place and enforced from another.
+const char* DefaultLayeringManifestText();
+
+/// DefaultLayeringManifestText() parsed once; crashes at startup if the
+/// built-in text ever goes stale, which a unit test catches first.
+const LayeringManifest& DefaultLayeringManifest();
+
+/// Repo-relative identity for a lint path: everything from the last
+/// occurrence of a known tree root (src, tools, tests, bench, examples)
+/// onward, slashes normalized. Empty when no root segment is present.
+std::string RepoRelativeId(const std::string& path);
+
+/// Layering unit for a repo-relative id: `src/<m>/...` maps to `<m>`
+/// except the fault-injection leaf (`src/verify/fault_injection.*` is its
+/// own module, `faultinject`, mirroring the spnet_faultinject library
+/// split); `tools/ tests/ bench/ examples/` map to themselves. Empty for
+/// unknown ids.
+std::string ModuleForId(const std::string& id);
+
+/// The project include graph: every first-party file, its module, and its
+/// resolved `#include "..."` edges.
+class ProjectGraph {
+ public:
+  /// Tokenizes each source, extracts quoted includes and resolves them
+  /// against the set of files present (an include `a/b.h` matches the file
+  /// whose id is `src/a/b.h` or `a/b.h`). Deterministic: files are sorted
+  /// by id, duplicate ids keep the first spelling.
+  static ProjectGraph Build(const std::vector<SourceFile>& sources);
+
+  const std::vector<FileNode>& files() const { return files_; }
+  const FileNode* FindFile(const std::string& id) const;
+
+  /// Cross-module edge census: (from, to) -> number of include sites.
+  /// Self-edges and unresolved includes are excluded.
+  std::map<std::pair<std::string, std::string>, int> ModuleEdges() const;
+
+  /// Strongly connected components of the file-level include graph with
+  /// more than one member (plus self-including files), via Tarjan's
+  /// algorithm. Each cycle and the list itself are sorted by id, so output
+  /// is stable for tests and CI artifacts.
+  std::vector<std::vector<std::string>> IncludeCycles() const;
+
+  /// Machine-readable graph (`--graph_out`): schema_version'd JSON with
+  /// per-module file counts and observed deps, the manifest, the
+  /// cross-module edge census, include cycles, the layering-violation
+  /// count, and the per-file adjacency.
+  std::string ToJson(const LayeringManifest& manifest) const;
+
+ private:
+  std::vector<FileNode> files_;
+};
+
+/// The project-graph rule tier: emits `layering-violation` for any
+/// cross-module include the manifest does not allow (or whose source
+/// module the manifest does not know) and `include-cycle` once per cycle.
+/// Inline `spnet-lint: allow(...)` markers on the offending include lines
+/// are honored.
+std::vector<Diagnostic> CheckProjectGraph(const ProjectGraph& graph,
+                                          const LayeringManifest& manifest);
+
+}  // namespace lint
+}  // namespace spnet
+
+#endif  // SPNET_LINT_GRAPH_H_

@@ -106,15 +106,19 @@ void LexQuoted(Cursor* cur, char quote, std::string* text) {
   }
 }
 
-/// R"tag( ... )tag" — the `R"` has been consumed.
+/// R"tag( ... )tag" — the `R"` has been consumed. Everything consumed —
+/// delimiter, `(`, body, `)tag"` — is appended to `text`, so the token
+/// text round-trips the source exactly (a non-empty delimiter used to be
+/// swallowed here, mangling the token).
 void LexRawString(Cursor* cur, std::string* text) {
   std::string tag;
   while (!cur->AtEnd() && cur->Peek() != '(' && cur->Peek() != '\n' &&
          tag.size() < 16) {
     tag.push_back(cur->Bump());
   }
+  text->append(tag);
   if (cur->Peek() != '(') return;  // malformed; recover at whatever follows
-  cur->Bump();
+  text->push_back(cur->Bump());
   const std::string closer = ")" + tag + "\"";
   while (!cur->AtEnd()) {
     if (cur->Match(closer.c_str())) {
@@ -229,7 +233,11 @@ std::vector<Token> Tokenize(const std::string& source) {
       token.text.push_back(cur.Bump());
       while (!cur.AtEnd()) {
         const char n = cur.Peek();
-        if (IsIdentChar(n) || n == '.' || n == '\'') {
+        // A digit separator is only part of the literal when an identifier
+        // character follows (`1'000'000`, `0xFF'FF`); a bare trailing `'`
+        // opens a character literal and must not be swallowed.
+        if (IsIdentChar(n) || n == '.' ||
+            (n == '\'' && IsIdentChar(cur.Peek(1)))) {
           token.text.push_back(cur.Bump());
         } else if ((n == '+' || n == '-') && !token.text.empty() &&
                    (token.text.back() == 'e' || token.text.back() == 'E' ||

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lint/lexer.h"
+#include "lint/suppression.h"
 
 namespace spnet {
 namespace lint {
@@ -90,47 +91,6 @@ size_t MatchingParen(const std::vector<Token>& code, size_t open) {
   }
   return kNpos;
 }
-
-/// Inline suppressions: `// spnet-lint: allow(rule-a, rule-b)` (line or
-/// block comment). The marker covers every line the comment spans plus the
-/// next line, so it works trailing a finding or on its own line above it.
-class SuppressionIndex {
- public:
-  explicit SuppressionIndex(const std::vector<Token>& tokens) {
-    for (const Token& token : tokens) {
-      if (token.kind != TokenKind::kComment) continue;
-      const size_t tag = token.text.find("spnet-lint:");
-      if (tag == std::string::npos) continue;
-      const size_t open = token.text.find("allow(", tag);
-      if (open == std::string::npos) continue;
-      const size_t close = token.text.find(')', open);
-      if (close == std::string::npos) continue;
-      std::string list = token.text.substr(open + 6, close - open - 6);
-      std::string rule;
-      list.push_back(',');
-      for (const char c : list) {
-        if (c == ',' || c == ' ' || c == '\t') {
-          if (!rule.empty()) {
-            for (int line = token.line; line <= token.end_line + 1; ++line) {
-              allowed_[rule].insert(line);
-            }
-            rule.clear();
-          }
-        } else {
-          rule.push_back(c);
-        }
-      }
-    }
-  }
-
-  bool Allows(const std::string& rule, int line) const {
-    const auto it = allowed_.find(rule);
-    return it != allowed_.end() && it->second.count(line) > 0;
-  }
-
- private:
-  std::map<std::string, std::set<int>> allowed_;
-};
 
 /// Shared state for one file's rule run: the comment-free token stream
 /// (preprocessor directives retained — they are statement boundaries),
@@ -504,6 +464,201 @@ void CheckIncludeIostream(RuleContext* ctx, const std::vector<Token>& tokens) {
   }
 }
 
+// --- rule: unsafe-planner-arithmetic ---------------------------------------
+
+/// The int64 workload quantities whose sums/products feed buffer sizing and
+/// tier classification. PR 7's sweep showed these wrap in practice on
+/// hub-heavy inputs, so raw arithmetic on them is a latent correctness bug:
+/// every combination must go through SatAddI64/SatMulI64.
+const std::set<std::string>& AuditedPlannerQuantities() {
+  static const std::set<std::string> kNames = {"pair_work", "flops",
+                                               "output_nnz", "row_chat"};
+  return kNames;
+}
+
+/// True when `code[i]` sits in binary-operator position: the previous
+/// token can terminate an expression. Rules out unary `*`/`+` (derefs,
+/// pointer declarators after keywords, leading signs).
+bool InBinaryContext(const std::vector<Token>& code, size_t i) {
+  if (i == 0) return false;
+  const Token& prev = code[i - 1];
+  if (prev.kind == TokenKind::kIdentifier) return true;
+  if (prev.kind == TokenKind::kNumber) return true;
+  return IsPunct(prev, "]") || IsPunct(prev, ")");
+}
+
+/// Audited name of the operand ending at `code[i]` (the token just before
+/// the operator), or empty: walks back over one balanced `[...]`
+/// subscript, then expects an audited identifier. A `)` bails — the
+/// interesting expression is inside a call/cast whose result type is the
+/// callee's business (`static_cast<double>(flops) * x` is fine).
+std::string LeftAuditedOperand(const std::vector<Token>& code, size_t i) {
+  size_t j = i;
+  if (IsPunct(code[j], "]")) {
+    int depth = 0;
+    while (true) {
+      if (IsPunct(code[j], "]")) ++depth;
+      if (IsPunct(code[j], "[") && --depth == 0) break;
+      if (j == 0) return "";
+      --j;
+    }
+    if (j == 0) return "";
+    --j;
+  }
+  if (code[j].kind == TokenKind::kIdentifier &&
+      AuditedPlannerQuantities().count(code[j].text) > 0) {
+    return code[j].text;
+  }
+  return "";
+}
+
+/// Audited name of the operand starting at `code[i]` (just after the
+/// operator), or empty: follows the member chain `a.b->c::d` and tests the
+/// LAST identifier, so `workload.row_chat` is audited but `row_chat.size()`
+/// chains ending elsewhere are not.
+std::string RightAuditedOperand(const std::vector<Token>& code, size_t i) {
+  if (i >= code.size() || code[i].kind != TokenKind::kIdentifier) return "";
+  size_t last = i;
+  size_t j = i + 1;
+  while (j + 1 < code.size() && code[j].kind == TokenKind::kPunct &&
+         (code[j].text == "." || code[j].text == "->" ||
+          code[j].text == "::") &&
+         code[j + 1].kind == TokenKind::kIdentifier) {
+    last = j + 1;
+    j += 2;
+  }
+  // A call chain (`.size()`, `.begin()`) is not the quantity itself.
+  if (j < code.size() && IsPunct(code[j], "(")) return "";
+  if (AuditedPlannerQuantities().count(code[last].text) > 0) {
+    return code[last].text;
+  }
+  return "";
+}
+
+void CheckUnsafePlannerArithmetic(RuleContext* ctx) {
+  std::string normalized = ctx->path();
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  const bool in_scope = normalized.find("src/spgemm") != std::string::npos ||
+                        normalized.find("src/core") != std::string::npos;
+  if (!in_scope) return;
+  const std::vector<Token>& code = ctx->code();
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kPunct) continue;
+    const std::string& op = code[i].text;
+    const bool compound = op == "+=" || op == "*=";
+    if (op != "+" && op != "*" && !compound) continue;
+    if (!InBinaryContext(code, i)) continue;
+    std::string name = LeftAuditedOperand(code, i - 1);
+    if (name.empty()) name = RightAuditedOperand(code, i + 1);
+    if (name.empty()) continue;
+    const bool add = op == "+" || op == "+=";
+    ctx->Emit("unsafe-planner-arithmetic", Severity::kError, code[i].line,
+              "raw '" + op + "' on audited planner quantity '" + name +
+                  "'; use " + (add ? "SatAddI64" : "SatMulI64") +
+                  " from common/math_util.h so overflow saturates instead of "
+                  "wrapping");
+  }
+}
+
+// --- rule: lock-discipline --------------------------------------------------
+
+/// std components that bypass the annotated lock vocabulary. spnet::Mutex /
+/// MutexLock / CondVar (common/mutex.h) are the only sanctioned spellings:
+/// they carry CAPABILITY/SCOPED_CAPABILITY so Clang's thread-safety
+/// analysis sees every acquisition.
+const std::set<std::string>& ForbiddenStdLockNames() {
+  static const std::set<std::string> kNames = {
+      "mutex",        "recursive_mutex",
+      "timed_mutex",  "recursive_timed_mutex",
+      "shared_mutex", "shared_timed_mutex",
+      "lock_guard",   "unique_lock",
+      "scoped_lock",  "shared_lock",
+      "condition_variable", "condition_variable_any",
+  };
+  return kNames;
+}
+
+void CheckLockDiscipline(RuleContext* ctx) {
+  const std::vector<Token>& code = ctx->code();
+  // Part (a): direct std lock primitives outside the wrapper itself.
+  if (!PathEndsWith(ctx->path(), "common/mutex.h")) {
+    for (size_t i = 0; i + 2 < code.size(); ++i) {
+      if (!IsIdent(code[i], "std") || !IsPunct(code[i + 1], "::")) continue;
+      if (code[i + 2].kind != TokenKind::kIdentifier) continue;
+      if (ForbiddenStdLockNames().count(code[i + 2].text) == 0) continue;
+      ctx->Emit("lock-discipline", Severity::kError, code[i].line,
+                "direct std::" + code[i + 2].text +
+                    " bypasses thread-safety annotations; use spnet::Mutex / "
+                    "MutexLock / CondVar from common/mutex.h");
+    }
+  }
+  // Part (b): every class with Mutex members must GUARDED_BY something —
+  // a lock protecting no declared data is either dead or undocumented.
+  struct ClassScope {
+    bool is_class = false;
+    std::vector<std::pair<int, std::string>> mutex_members;  // line, name
+    int guarded = 0;
+  };
+  std::vector<ClassScope> scopes;
+  bool pending_class = false;
+  const auto innermost_class = [&scopes]() -> ClassScope* {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->is_class) return &*it;
+    }
+    return nullptr;
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Token& token = code[i];
+    if (token.kind == TokenKind::kIdentifier) {
+      if ((token.text == "class" || token.text == "struct") &&
+          (i == 0 || !IsIdent(code[i - 1], "enum"))) {
+        pending_class = true;
+      } else if (token.text == "GUARDED_BY" || token.text == "PT_GUARDED_BY") {
+        ClassScope* cls = innermost_class();
+        if (cls != nullptr) ++cls->guarded;
+      } else if (token.text == "Mutex" && !scopes.empty() &&
+                 scopes.back().is_class && i + 2 < code.size() &&
+                 code[i + 1].kind == TokenKind::kIdentifier &&
+                 (IsPunct(code[i + 2], ";") || IsPunct(code[i + 2], "{"))) {
+        // Member pattern `Mutex name;` (`{...}` init included); `Mutex*` /
+        // `Mutex&` parameters and locals inside method bodies don't match
+        // because their enclosing scope is a block, not the class.
+        scopes.back().mutex_members.emplace_back(code[i].line,
+                                                 code[i + 1].text);
+      }
+      continue;
+    }
+    if (token.kind != TokenKind::kPunct) continue;
+    if (token.text == ";" || token.text == "(" || token.text == ")" ||
+        token.text == "=") {
+      pending_class = false;  // forward decl / template param / expression
+      continue;
+    }
+    if (token.text == "{") {
+      ClassScope scope;
+      scope.is_class = pending_class;
+      pending_class = false;
+      scopes.push_back(scope);
+      continue;
+    }
+    if (token.text == "}") {
+      if (scopes.empty()) continue;
+      const ClassScope done = scopes.back();
+      scopes.pop_back();
+      if (!done.is_class || done.mutex_members.empty() || done.guarded > 0) {
+        continue;
+      }
+      for (const auto& [line, name] : done.mutex_members) {
+        ctx->Emit("lock-discipline", Severity::kError, line,
+                  "Mutex member '" + name +
+                      "' protects nothing: no GUARDED_BY/PT_GUARDED_BY in "
+                      "the class body names it (see "
+                      "common/thread_annotations.h)");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() {
@@ -525,6 +680,17 @@ const std::vector<RuleInfo>& Rules() {
       {"legacy-batch-query", Severity::kError,
        "construct engine::Request via RequestBuilder, not the legacy "
        "BatchQuery, outside src/engine"},
+      {"unsafe-planner-arithmetic", Severity::kError,
+       "planner int64 quantities (pair_work/flops/output_nnz/row_chat) must "
+       "combine via SatAddI64/SatMulI64 in src/spgemm and src/core"},
+      {"lock-discipline", Severity::kError,
+       "std lock primitives only inside common/mutex.h; Mutex members need "
+       "a GUARDED_BY in the class body"},
+      {"layering-violation", Severity::kError,
+       "cross-module includes must follow the LAYERING.md allowed-edges "
+       "manifest"},
+      {"include-cycle", Severity::kError,
+       "the first-party include graph must stay acyclic"},
   };
   return kRules;
 }
@@ -550,6 +716,8 @@ std::vector<Diagnostic> LintSource(const std::string& path,
   CheckExecContextThreading(&ctx);
   CheckIncludeIostream(&ctx, tokens);
   CheckLegacyBatchQuery(&ctx);
+  CheckUnsafePlannerArithmetic(&ctx);
+  CheckLockDiscipline(&ctx);
   return ctx.TakeDiagnostics();
 }
 

@@ -49,6 +49,10 @@ struct LintOptions {
   /// inline `spnet-lint: allow(raw-new-delete)` markers instead, so every
   /// raw allocation is annotated where it happens.
   std::vector<std::string> raw_new_delete_allowlist;
+  /// Layering manifest text for the project-graph rules (`module: dep ...`
+  /// lines, see LAYERING.md). Empty selects the built-in table
+  /// (graph.h's DefaultLayeringManifestText), which mirrors LAYERING.md.
+  std::string layering_manifest;
 
   LintOptions();
 };

@@ -6,7 +6,11 @@
 #include <sstream>
 #include <string>
 #include <system_error>
+#include <utility>
 #include <vector>
+
+#include "lint/graph.h"
+#include "metrics/json_writer.h"
 
 namespace spnet {
 namespace lint {
@@ -81,8 +85,10 @@ bool IsLintableFile(const std::string& path) {
          HasSuffix(path, ".cuh");
 }
 
-Result<RunSummary> LintPaths(const std::vector<std::string>& paths,
-                             const LintOptions& options) {
+namespace {
+
+Result<std::vector<SourceFile>> LoadSources(
+    const std::vector<std::string>& paths) {
   std::vector<std::string> files;
   for (const std::string& path : paths) {
     const Status collected = CollectFiles(path, &files);
@@ -90,24 +96,66 @@ Result<RunSummary> LintPaths(const std::vector<std::string>& paths,
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
-
-  RunSummary summary;
-  for (const std::string& file : files) {
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (std::string& file : files) {
     Result<std::string> content = ReadFileToString(file);
     if (!content.ok()) return content.status();
+    sources.push_back({std::move(file), *std::move(content)});
+  }
+  return sources;
+}
+
+}  // namespace
+
+Result<RunSummary> LintPaths(const std::vector<std::string>& paths,
+                             const LintOptions& options) {
+  Result<std::vector<SourceFile>> sources = LoadSources(paths);
+  if (!sources.ok()) return sources.status();
+
+  RunSummary summary;
+  for (const SourceFile& source : *sources) {
     std::vector<Diagnostic> diagnostics =
-        LintSource(file, *content, options);
+        LintSource(source.path, source.content, options);
     ++summary.files_linted;
     for (Diagnostic& diagnostic : diagnostics) {
-      if (diagnostic.severity == Severity::kError) {
-        ++summary.errors;
-      } else {
-        ++summary.warnings;
-      }
       summary.diagnostics.push_back(std::move(diagnostic));
     }
   }
+
+  // Project-graph tier: needs the whole file set at once.
+  Result<LayeringManifest> parsed_manifest =
+      options.layering_manifest.empty()
+          ? Result<LayeringManifest>(DefaultLayeringManifest())
+          : ParseLayeringManifest(options.layering_manifest);
+  if (!parsed_manifest.ok()) return parsed_manifest.status();
+  const LayeringManifest& manifest = *parsed_manifest;
+  const ProjectGraph graph = ProjectGraph::Build(*sources);
+  for (Diagnostic& diagnostic : CheckProjectGraph(graph, manifest)) {
+    summary.diagnostics.push_back(std::move(diagnostic));
+  }
+  summary.graph_json = graph.ToJson(manifest);
+
+  std::sort(summary.diagnostics.begin(), summary.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const Diagnostic& diagnostic : summary.diagnostics) {
+    if (diagnostic.severity == Severity::kError) {
+      ++summary.errors;
+    } else {
+      ++summary.warnings;
+    }
+  }
   return summary;
+}
+
+Result<ProjectGraph> BuildProjectGraph(const std::vector<std::string>& paths) {
+  Result<std::vector<SourceFile>> sources = LoadSources(paths);
+  if (!sources.ok()) return sources.status();
+  return ProjectGraph::Build(*sources);
 }
 
 std::string FormatDiagnostic(const Diagnostic& diagnostic) {
@@ -116,6 +164,30 @@ std::string FormatDiagnostic(const Diagnostic& diagnostic) {
       << (diagnostic.severity == Severity::kError ? "error" : "warning")
       << ": " << diagnostic.message << " [" << diagnostic.rule << ']';
   return out.str();
+}
+
+std::string FindingsJson(const RunSummary& summary) {
+  metrics::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("tool").String("spnet_lint");
+  w.Key("files_linted").Int(summary.files_linted);
+  w.Key("errors").Int(summary.errors);
+  w.Key("warnings").Int(summary.warnings);
+  w.Key("findings").BeginArray();
+  for (const Diagnostic& diagnostic : summary.diagnostics) {
+    w.BeginObject();
+    w.Key("file").String(diagnostic.file);
+    w.Key("line").Int(diagnostic.line);
+    w.Key("rule").String(diagnostic.rule);
+    w.Key("severity")
+        .String(diagnostic.severity == Severity::kError ? "error" : "warning");
+    w.Key("message").String(diagnostic.message);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace lint

@@ -1,0 +1,62 @@
+#ifndef SPNET_LINT_SUPPRESSION_H_
+#define SPNET_LINT_SUPPRESSION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace spnet {
+namespace lint {
+
+/// Inline suppressions: `// spnet-lint: allow(rule-a, rule-b)` (line or
+/// block comment). The marker covers every line the comment spans plus the
+/// next line, so it works trailing a finding or on its own line above it.
+/// Shared between the per-file rules (lint.cc) and the project-graph rules
+/// (graph.cc), which attribute findings to `#include` lines.
+class SuppressionIndex {
+ public:
+  SuppressionIndex() = default;
+
+  explicit SuppressionIndex(const std::vector<Token>& tokens) {
+    for (const Token& token : tokens) {
+      if (token.kind != TokenKind::kComment) continue;
+      const size_t tag = token.text.find("spnet-lint:");
+      if (tag == std::string::npos) continue;
+      const size_t open = token.text.find("allow(", tag);
+      if (open == std::string::npos) continue;
+      const size_t close = token.text.find(')', open);
+      if (close == std::string::npos) continue;
+      std::string list = token.text.substr(open + 6, close - open - 6);
+      std::string rule;
+      list.push_back(',');
+      for (const char c : list) {
+        if (c == ',' || c == ' ' || c == '\t') {
+          if (!rule.empty()) {
+            for (int line = token.line; line <= token.end_line + 1; ++line) {
+              allowed_[rule].insert(line);
+            }
+            rule.clear();
+          }
+        } else {
+          rule.push_back(c);
+        }
+      }
+    }
+  }
+
+  bool Allows(const std::string& rule, int line) const {
+    const auto it = allowed_.find(rule);
+    return it != allowed_.end() && it->second.count(line) > 0;
+  }
+
+ private:
+  std::map<std::string, std::set<int>> allowed_;
+};
+
+}  // namespace lint
+}  // namespace spnet
+
+#endif  // SPNET_LINT_SUPPRESSION_H_

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/math_util.h"
 #include "common/parallel.h"
 #include "sparse/row_scratch.h"
 #include "sparse/stats.h"
@@ -214,8 +215,8 @@ Result<CsrMatrix> OuterProductExpandMerge(const CsrMatrix& a,
   const std::vector<int64_t> row_chat = sparse::SpGemmRowFlops(a, b);
   std::vector<Offset> chat_ptr(static_cast<size_t>(rows) + 1, 0);
   for (Index r = 0; r < rows; ++r) {
-    chat_ptr[static_cast<size_t>(r) + 1] =
-        chat_ptr[static_cast<size_t>(r)] + row_chat[static_cast<size_t>(r)];
+    chat_ptr[static_cast<size_t>(r) + 1] = SatAddI64(
+        chat_ptr[static_cast<size_t>(r)], row_chat[static_cast<size_t>(r)]);
   }
   const Offset total = chat_ptr[static_cast<size_t>(rows)];
 

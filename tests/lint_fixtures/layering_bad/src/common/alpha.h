@@ -1,0 +1,9 @@
+// Fixture: common must not reach up into engine.
+#ifndef FIXTURE_COMMON_ALPHA_H_
+#define FIXTURE_COMMON_ALPHA_H_
+
+#include "engine/beta.h"
+
+inline int Alpha() { return FixtureBeta() + 1; }
+
+#endif  // FIXTURE_COMMON_ALPHA_H_

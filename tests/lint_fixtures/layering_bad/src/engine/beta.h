@@ -1,0 +1,8 @@
+// Fixture: the upper-layer header layering_bad/src/common/alpha.h reaches
+// into.
+#ifndef FIXTURE_ENGINE_BETA_H_
+#define FIXTURE_ENGINE_BETA_H_
+
+inline int FixtureBeta() { return 2; }
+
+#endif  // FIXTURE_ENGINE_BETA_H_

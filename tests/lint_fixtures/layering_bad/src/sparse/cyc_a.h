@@ -1,0 +1,7 @@
+// Fixture: one half of an include cycle inside the sparse module.
+#ifndef FIXTURE_SPARSE_CYC_A_H_
+#define FIXTURE_SPARSE_CYC_A_H_
+
+#include "sparse/cyc_b.h"
+
+#endif  // FIXTURE_SPARSE_CYC_A_H_

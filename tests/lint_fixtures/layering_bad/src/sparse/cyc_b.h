@@ -1,0 +1,7 @@
+// Fixture: the other half of the include cycle.
+#ifndef FIXTURE_SPARSE_CYC_B_H_
+#define FIXTURE_SPARSE_CYC_B_H_
+
+#include "sparse/cyc_a.h"
+
+#endif  // FIXTURE_SPARSE_CYC_B_H_

@@ -1,0 +1,9 @@
+// Fixture: bottom-layer header with no first-party includes.
+#ifndef FIXTURE_COMMON_UTIL_H_
+#define FIXTURE_COMMON_UTIL_H_
+
+#include <cstdint>
+
+inline int64_t FixtureUtil() { return 1; }
+
+#endif  // FIXTURE_COMMON_UTIL_H_

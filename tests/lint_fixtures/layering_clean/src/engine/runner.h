@@ -1,0 +1,9 @@
+// Fixture: engine -> common is an allowed downward edge.
+#ifndef FIXTURE_ENGINE_RUNNER_H_
+#define FIXTURE_ENGINE_RUNNER_H_
+
+#include "common/util.h"
+
+inline int64_t FixtureRunner() { return FixtureUtil() + 1; }
+
+#endif  // FIXTURE_ENGINE_RUNNER_H_

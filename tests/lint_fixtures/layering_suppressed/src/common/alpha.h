@@ -1,0 +1,10 @@
+// Fixture: the layering_bad violation with an inline allow marker on the
+// offending include line.
+#ifndef FIXTURE_COMMON_ALPHA_H_
+#define FIXTURE_COMMON_ALPHA_H_
+
+#include "engine/beta.h"  // spnet-lint: allow(layering-violation)
+
+inline int Alpha() { return FixtureBeta() + 1; }
+
+#endif  // FIXTURE_COMMON_ALPHA_H_

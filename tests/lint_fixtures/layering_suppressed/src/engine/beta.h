@@ -1,0 +1,7 @@
+// Fixture: target of the suppressed upward include.
+#ifndef FIXTURE_ENGINE_BETA_H_
+#define FIXTURE_ENGINE_BETA_H_
+
+inline int FixtureBeta() { return 2; }
+
+#endif  // FIXTURE_ENGINE_BETA_H_

@@ -1,0 +1,7 @@
+// Fixture: suppressed include cycle, marker on the participating include.
+#ifndef FIXTURE_SPARSE_CYC_A_H_
+#define FIXTURE_SPARSE_CYC_A_H_
+
+#include "sparse/cyc_b.h"  // spnet-lint: allow(include-cycle)
+
+#endif  // FIXTURE_SPARSE_CYC_A_H_

@@ -1,0 +1,8 @@
+// Fixture: the other half of the suppressed cycle (marker here too, in
+// case the anchor file ever changes).
+#ifndef FIXTURE_SPARSE_CYC_B_H_
+#define FIXTURE_SPARSE_CYC_B_H_
+
+#include "sparse/cyc_a.h"  // spnet-lint: allow(include-cycle)
+
+#endif  // FIXTURE_SPARSE_CYC_B_H_

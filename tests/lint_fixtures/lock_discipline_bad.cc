@@ -1,0 +1,34 @@
+// Fixture: std lock primitives used directly, and an spnet::Mutex member
+// that no GUARDED_BY in the class body accounts for.
+
+#include <mutex>
+
+#include "common/mutex.h"
+
+namespace spnet {
+
+class BadStdLock {
+ public:
+  void Add(long v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += v;
+  }
+
+ private:
+  std::mutex mu_;
+  long total_ = 0;
+};
+
+class BadUnguarded {
+ public:
+  void Bump() {
+    MutexLock lock(&mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  long count_ = 0;
+};
+
+}  // namespace spnet

@@ -1,0 +1,27 @@
+// Fixture: the sanctioned lock vocabulary — spnet::Mutex with a
+// GUARDED_BY naming the data it protects.
+
+#include "common/mutex.h"
+
+namespace spnet {
+
+class CleanCounter {
+ public:
+  void Add(long v) {
+    MutexLock lock(&mu_);
+    total_ += v;
+  }
+
+  long Total() {
+    MutexLock lock(&mu_);
+    return total_;
+  }
+
+ private:
+  Mutex mu_;
+  long total_ GUARDED_BY(mu_) = 0;
+};
+
+void TakesMutexPointer(Mutex* mu) { mu->Lock(); }
+
+}  // namespace spnet

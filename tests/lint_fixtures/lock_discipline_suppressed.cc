@@ -1,0 +1,35 @@
+// Fixture: the same violations as lock_discipline_bad.cc, each carrying
+// an inline allow marker.
+
+#include <mutex>
+
+#include "common/mutex.h"
+
+namespace spnet {
+
+class BadStdLock {
+ public:
+  void Add(long v) {
+    // spnet-lint: allow(lock-discipline)
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += v;
+  }
+
+ private:
+  std::mutex mu_;  // spnet-lint: allow(lock-discipline)
+  long total_ = 0;
+};
+
+class BadUnguarded {
+ public:
+  void Bump() {
+    MutexLock lock(&mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;  // spnet-lint: allow(lock-discipline)
+  long count_ = 0;
+};
+
+}  // namespace spnet

@@ -1,0 +1,21 @@
+// Fixture: raw arithmetic on audited planner quantities. The directory
+// places this under src/spgemm/ so the path-scoped rule applies.
+
+#include <cstdint>
+#include <vector>
+
+namespace spnet {
+namespace spgemm {
+
+int64_t TotalWork(const std::vector<int64_t>& row_chat, int64_t pair_work,
+                  int64_t output_nnz) {
+  int64_t flops = 0;
+  for (size_t r = 0; r < row_chat.size(); ++r) {
+    flops += row_chat[r];
+  }
+  const int64_t bytes = 8 * output_nnz;
+  return pair_work + bytes;
+}
+
+}  // namespace spgemm
+}  // namespace spnet

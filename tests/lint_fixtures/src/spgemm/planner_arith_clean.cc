@@ -1,0 +1,27 @@
+// Fixture: the saturating spellings of planner arithmetic, plus shapes
+// the rule must not flag (double math through casts, method chains).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace spnet {
+namespace spgemm {
+
+int64_t TotalWork(const std::vector<int64_t>& row_chat, int64_t pair_work,
+                  int64_t output_nnz) {
+  int64_t flops = 0;
+  for (size_t r = 0; r < row_chat.size(); ++r) {
+    flops = SatAddI64(flops, row_chat[r]);
+  }
+  const int64_t bytes = SatMulI64(8, output_nnz);
+  const double ratio = static_cast<double>(pair_work) + 0.5;
+  const size_t census = row_chat.size() + 1;
+  (void)ratio;
+  (void)census;
+  return SatAddI64(pair_work, bytes);
+}
+
+}  // namespace spgemm
+}  // namespace spnet

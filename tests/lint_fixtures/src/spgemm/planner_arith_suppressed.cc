@@ -1,0 +1,21 @@
+// Fixture: every raw-arithmetic finding carries an inline allow marker.
+
+#include <cstdint>
+#include <vector>
+
+namespace spnet {
+namespace spgemm {
+
+int64_t TotalWork(const std::vector<int64_t>& row_chat, int64_t pair_work,
+                  int64_t output_nnz) {
+  int64_t flops = 0;
+  for (size_t r = 0; r < row_chat.size(); ++r) {
+    flops += row_chat[r];  // spnet-lint: allow(unsafe-planner-arithmetic)
+  }
+  // spnet-lint: allow(unsafe-planner-arithmetic)
+  const int64_t bytes = 8 * output_nnz;
+  return pair_work + bytes;  // spnet-lint: allow(unsafe-planner-arithmetic)
+}
+
+}  // namespace spgemm
+}  // namespace spnet

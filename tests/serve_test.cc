@@ -62,7 +62,7 @@ class ResponseLog {
  private:
   Mutex mu_;
   CondVar arrived_;
-  std::vector<engine::Response> responses_;
+  std::vector<engine::Response> responses_ GUARDED_BY(mu_);
 };
 
 ServeOptions SmallServerOptions() {

@@ -8,25 +8,32 @@
 // --werror), 2 on usage/IO problems.
 //
 // Usage:
-//   spnet_lint [--werror] [--list-rules] <path>...
+//   spnet_lint [--werror] [--list-rules] [--json_out <path>]
+//              [--graph_out <path>] <path>...
 //
 // Suppress a finding inline with `// spnet-lint: allow(<rule>)` on the
 // same line or the line above.
 
 #include <cstdio>
+#include <string>
 
 #include "common/flags.h"
 #include "common/status.h"
 #include "lint/lint.h"
 #include "lint/runner.h"
+#include "metrics/json_writer.h"
 
 namespace {
 
 void PrintUsage() {
-  std::fprintf(stderr,
-               "usage: spnet_lint [--werror] [--list-rules] <path>...\n"
-               "  --werror      treat warnings as errors\n"
-               "  --list-rules  print the rule catalog and exit\n");
+  std::fprintf(
+      stderr,
+      "usage: spnet_lint [--werror] [--list-rules] [--json_out <path>]\n"
+      "                  [--graph_out <path>] <path>...\n"
+      "  --werror            treat warnings as errors\n"
+      "  --list-rules        print the rule catalog and exit\n"
+      "  --json_out <path>   write machine-readable findings JSON\n"
+      "  --graph_out <path>  write the include-graph/layering JSON\n");
 }
 
 void PrintRules() {
@@ -42,7 +49,8 @@ void PrintRules() {
 
 int main(int argc, char** argv) {
   spnet::FlagParser flags;
-  const spnet::Status parsed = flags.Parse(argc, argv);
+  const spnet::Status parsed =
+      flags.Parse(argc, argv, {"werror", "list-rules", "list_rules"});
   if (!parsed.ok()) {
     std::fprintf(stderr, "spnet_lint: %s\n", parsed.ToString().c_str());
     PrintUsage();
@@ -68,6 +76,24 @@ int main(int argc, char** argv) {
   for (const spnet::lint::Diagnostic& diagnostic : summary->diagnostics) {
     std::fprintf(stderr, "%s\n",
                  spnet::lint::FormatDiagnostic(diagnostic).c_str());
+  }
+  const std::string json_out = flags.GetString("json_out", "");
+  if (!json_out.empty()) {
+    const spnet::Status written = spnet::metrics::WriteTextFile(
+        json_out, spnet::lint::FindingsJson(*summary) + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "spnet_lint: %s\n", written.ToString().c_str());
+      return 2;
+    }
+  }
+  const std::string graph_out = flags.GetString("graph_out", "");
+  if (!graph_out.empty()) {
+    const spnet::Status written = spnet::metrics::WriteTextFile(
+        graph_out, summary->graph_json + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "spnet_lint: %s\n", written.ToString().c_str());
+      return 2;
+    }
   }
   const bool werror = flags.GetBool("werror", false);
   const int effective_errors =
